@@ -1,0 +1,145 @@
+#include "bench/common.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <stdexcept>
+
+#include "support/rng.h"
+#include "support/timing.h"
+#include "workload/experiments.h"
+
+namespace repflow::bench {
+
+SweepConfig parse_sweep(int argc, const char* const* argv,
+                        const std::string& summary, repflow::CliFlags* extra) {
+  repflow::CliFlags own;
+  repflow::CliFlags& flags = extra ? *extra : own;
+  flags.define("nmin", "10", "smallest disk count per site");
+  flags.define("nmax", "40", "largest disk count per site");
+  flags.define("nstep", "10", "disk count increment");
+  flags.define("queries", "40", "queries per cell");
+  flags.define("seed", "2012", "workload RNG seed");
+  flags.define("threads", "2", "parallel engine threads");
+  flags.define("csv", "", "mirror series to a CSV file");
+  flags.define("verify", "false", "cross-check optimal response times");
+  flags.define("full", "false", "paper-scale sweep (N<=100, 1000 queries)");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    flags.print_help(summary);
+    std::exit(0);
+  }
+  SweepConfig config;
+  config.nmin = static_cast<std::int32_t>(flags.get_int("nmin"));
+  config.nmax = static_cast<std::int32_t>(flags.get_int("nmax"));
+  config.nstep = static_cast<std::int32_t>(flags.get_int("nstep"));
+  config.queries = static_cast<std::int32_t>(flags.get_int("queries"));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.threads = static_cast<int>(flags.get_int("threads"));
+  config.csv = flags.get("csv");
+  config.verify = flags.get_bool("verify");
+  if (flags.get_bool("full")) {
+    config.nmax = 100;
+    config.queries = 1000;
+  }
+  if (config.nmin < 2 || config.nmax < config.nmin || config.nstep < 1 ||
+      config.queries < 1 || config.threads < 1) {
+    throw std::invalid_argument("parse_sweep: inconsistent sweep flags");
+  }
+  return config;
+}
+
+double time_solve_ms(const core::RetrievalProblem& problem,
+                     core::SolverKind kind, int threads,
+                     double* response_ms) {
+  StopWatch sw;
+  sw.start();
+  const core::SolveResult result = core::solve(problem, kind, threads);
+  sw.stop();
+  if (response_ms) *response_ms = result.response_time_ms;
+  return sw.elapsed_ms();
+}
+
+std::vector<SolverTiming> run_cell(const CellSpec& spec,
+                                   const std::vector<core::SolverKind>& kinds,
+                                   std::int32_t count, std::uint64_t seed,
+                                   int threads, bool verify) {
+  // Workload materialization is seeded per cell so every solver (and every
+  // binary) sees the identical query stream.
+  Rng rng(seed ^ (static_cast<std::uint64_t>(spec.experiment) << 40) ^
+          (static_cast<std::uint64_t>(spec.scheme) << 36) ^
+          (static_cast<std::uint64_t>(spec.qtype) << 34) ^
+          (static_cast<std::uint64_t>(spec.load) << 32) ^
+          static_cast<std::uint64_t>(spec.n));
+  const auto rep = decluster::make_scheme(
+      spec.scheme, spec.n, decluster::SiteMapping::kCopyPerSite, rng);
+  const auto sys =
+      workload::make_experiment_system(spec.experiment, spec.n, rng);
+  const workload::QueryGenerator gen(spec.n, spec.qtype, spec.load);
+
+  std::vector<core::RetrievalProblem> problems;
+  problems.reserve(static_cast<std::size_t>(count));
+  for (std::int32_t i = 0; i < count; ++i) {
+    problems.push_back(core::build_problem(rep, gen.next(rng), sys));
+  }
+
+  std::vector<SolverTiming> timings;
+  timings.reserve(kinds.size());
+  for (core::SolverKind kind : kinds) {
+    SolverTiming t;
+    t.kind = kind;
+    t.queries = count;
+    for (const auto& problem : problems) {
+      double response = 0.0;
+      t.total_ms += time_solve_ms(problem, kind, threads, &response);
+      t.total_response_ms += response;
+    }
+    t.avg_ms = t.total_ms / static_cast<double>(count);
+    timings.push_back(t);
+  }
+
+  if (verify && timings.size() > 1) {
+    // The paper's own consistency check: the summed optimal response times
+    // of all algorithms must match (Section VI-F).
+    for (std::size_t i = 1; i < timings.size(); ++i) {
+      const double diff =
+          std::fabs(timings[i].total_response_ms - timings[0].total_response_ms);
+      if (diff > 1e-3) {
+        std::fprintf(stderr,
+                     "VERIFY FAILED: %s total response %.6f vs %s %.6f\n",
+                     core::solver_name(timings[i].kind),
+                     timings[i].total_response_ms,
+                     core::solver_name(timings[0].kind),
+                     timings[0].total_response_ms);
+        std::abort();
+      }
+    }
+  }
+  return timings;
+}
+
+void sweep_n(const SweepConfig& config, const CellSpec& base,
+             const std::vector<core::SolverKind>& kinds,
+             const std::function<void(std::int32_t,
+                                      const std::vector<SolverTiming>&)>&
+                 emit_row) {
+  for (std::int32_t n = config.nmin; n <= config.nmax; n += config.nstep) {
+    CellSpec spec = base;
+    spec.n = n;
+    emit_row(n, run_cell(spec, kinds, config.queries, config.seed,
+                         config.threads, config.verify));
+  }
+}
+
+void print_banner(const std::string& title, const SweepConfig& config) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf(
+      "sweep: N = %d..%d step %d | %d queries/cell | seed %llu | %d "
+      "threads%s\n\n",
+      config.nmin, config.nmax, config.nstep, config.queries,
+      static_cast<unsigned long long>(config.seed), config.threads,
+      config.verify ? " | verify on" : "");
+}
+
+}  // namespace repflow::bench

@@ -1,0 +1,104 @@
+// Figure 10 reproduction: per-query parallel/sequential execution time
+// ratio of the integrated push-relabel algorithm (Algorithm 6), 2 threads,
+// Experiment 5, fixed disk count.
+//
+// Panels: (a) Arbitrary/Load1/Orthogonal, (b) Range/Load2/Orthogonal,
+// (c) Arbitrary/Load1/RDA.  x-axis = query index, y = parallel/sequential.
+//
+// HARDWARE NOTE: the paper measured on an 8-core dual Xeon X5672 and saw up
+// to 1.7x speed-up (~1.2x average).  This reproduction's container exposes
+// a single hardware core, so the measured ratio documents threading
+// overhead rather than speedup; the engine itself is the faithful
+// lock-free implementation (see EXPERIMENTS.md).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/timing.h"
+#include "workload/experiments.h"
+
+namespace {
+
+using namespace repflow;
+using bench::SweepConfig;
+using core::SolverKind;
+using decluster::Scheme;
+using workload::LoadKind;
+using workload::QueryType;
+
+void run_panel(const SweepConfig& config, std::int32_t n, const char* label,
+               QueryType qtype, LoadKind load, Scheme scheme,
+               CsvWriter& csv) {
+  Rng rng(config.seed ^ 0xF16ULL ^ static_cast<std::uint64_t>(load) << 8 ^
+          static_cast<std::uint64_t>(scheme));
+  const auto rep =
+      decluster::make_scheme(scheme, n, decluster::SiteMapping::kCopyPerSite,
+                             rng);
+  const auto sys = workload::make_experiment_system(5, n, rng);
+  const workload::QueryGenerator gen(n, qtype, load);
+
+  std::printf("--- %s - %s - %s - %d disks, %d threads ---\n", label,
+              workload::query_type_name(qtype),
+              decluster::scheme_name(scheme), n, config.threads);
+  TablePrinter table({"query", "|Q|", "seq ms", "par ms", "par/seq"});
+  RunningStats ratio_stats;
+  for (std::int32_t i = 0; i < config.queries; ++i) {
+    const auto query = gen.next(rng);
+    const auto problem = core::build_problem(rep, query, sys);
+    double seq_response = 0.0, par_response = 0.0;
+    const double seq_ms = bench::time_solve_ms(
+        problem, SolverKind::kPushRelabelBinary, 1, &seq_response);
+    const double par_ms =
+        bench::time_solve_ms(problem, SolverKind::kParallelPushRelabelBinary,
+                             config.threads, &par_response);
+    if (std::abs(seq_response - par_response) > 1e-3) {
+      std::fprintf(stderr, "MISMATCH query %d: seq %.4f vs par %.4f\n", i,
+                   seq_response, par_response);
+      std::abort();
+    }
+    const double ratio = seq_ms > 0 ? par_ms / seq_ms : 0.0;
+    ratio_stats.add(ratio);
+    table.begin_row();
+    table.add_cell(static_cast<long long>(i));
+    table.add_cell(static_cast<long long>(query.size()));
+    table.add_cell(seq_ms, 4);
+    table.add_cell(par_ms, 4);
+    table.add_cell(ratio, 3);
+    table.end_row();
+    csv.write_row({label, decluster::scheme_name(scheme), std::to_string(i),
+                   std::to_string(query.size()), format_double(seq_ms, 6),
+                   format_double(par_ms, 6), format_double(ratio, 4)});
+  }
+  table.print(std::cout);
+  std::printf("avg par/seq ratio: %.3f (min %.3f, max %.3f)\n\n",
+              ratio_stats.mean(), ratio_stats.min(), ratio_stats.max());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  repflow::CliFlags extra;
+  extra.define("disks", "40", "fixed disk count per site (paper: 100)");
+  const SweepConfig config = bench::parse_sweep(
+      argc, argv,
+      "fig10: parallel vs sequential integrated PR, Experiment 5", &extra);
+  const auto n = static_cast<std::int32_t>(extra.get_int("disks"));
+  bench::print_banner(
+      "Figure 10: Parallel/Sequential PR ratio, Experiment 5", config);
+  std::printf(
+      "note: paper hardware = 8-core Xeon; this host's core count bounds the "
+      "achievable speedup (see EXPERIMENTS.md)\n\n");
+  CsvWriter csv(config.csv);
+  csv.write_header(
+      {"panel", "scheme", "query", "size", "seq_ms", "par_ms", "ratio"});
+  run_panel(config, n, "LOAD 1", QueryType::kArbitrary, LoadKind::kLoad1,
+            Scheme::kOrthogonal, csv);
+  run_panel(config, n, "LOAD 2", QueryType::kRange, LoadKind::kLoad2,
+            Scheme::kOrthogonal, csv);
+  run_panel(config, n, "LOAD 1", QueryType::kArbitrary, LoadKind::kLoad1,
+            Scheme::kRda, csv);
+  return 0;
+}

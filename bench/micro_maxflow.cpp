@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) of the max-flow engines on the three
+// synthetic network families.  Not a paper artifact; quantifies the engine
+// building blocks behind Figures 5-9 and the heuristic ablations.
+#include <benchmark/benchmark.h>
+
+#include "graph/capacity_scaling.h"
+#include "graph/dinic.h"
+#include "graph/ford_fulkerson.h"
+#include "graph/generators.h"
+#include "graph/push_relabel.h"
+#include "graph/push_relabel_hl.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace repflow;
+using graph::GeneratedNetwork;
+
+GeneratedNetwork make_bipartite(std::int64_t buckets) {
+  Rng rng(42);
+  const auto disks = std::max<std::int32_t>(
+      4, static_cast<std::int32_t>(buckets / 25));
+  return graph::random_bipartite(static_cast<std::int32_t>(buckets), disks, 2,
+                                 std::max<std::int64_t>(1, buckets / disks),
+                                 rng);
+}
+
+GeneratedNetwork make_layered(std::int64_t width) {
+  Rng rng(43);
+  return graph::layered_network(8, static_cast<std::int32_t>(width), 50, rng);
+}
+
+void BM_FordFulkersonDfs_Bipartite(benchmark::State& state) {
+  auto g = make_bipartite(state.range(0));
+  for (auto _ : state) {
+    graph::FordFulkerson engine(g.net, g.source, g.sink,
+                                graph::SearchOrder::kDfs);
+    benchmark::DoNotOptimize(engine.solve_from_zero().value);
+  }
+}
+BENCHMARK(BM_FordFulkersonDfs_Bipartite)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_FordFulkersonBfs_Bipartite(benchmark::State& state) {
+  auto g = make_bipartite(state.range(0));
+  for (auto _ : state) {
+    graph::FordFulkerson engine(g.net, g.source, g.sink,
+                                graph::SearchOrder::kBfs);
+    benchmark::DoNotOptimize(engine.solve_from_zero().value);
+  }
+}
+BENCHMARK(BM_FordFulkersonBfs_Bipartite)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_Dinic_Bipartite(benchmark::State& state) {
+  auto g = make_bipartite(state.range(0));
+  for (auto _ : state) {
+    graph::Dinic engine(g.net, g.source, g.sink);
+    benchmark::DoNotOptimize(engine.solve_from_zero().value);
+  }
+}
+BENCHMARK(BM_Dinic_Bipartite)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_PushRelabel_Bipartite(benchmark::State& state) {
+  auto g = make_bipartite(state.range(0));
+  for (auto _ : state) {
+    graph::PushRelabel engine(g.net, g.source, g.sink);
+    benchmark::DoNotOptimize(engine.solve_from_zero().value);
+  }
+}
+BENCHMARK(BM_PushRelabel_Bipartite)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_PushRelabel_NoHeuristics_Bipartite(benchmark::State& state) {
+  auto g = make_bipartite(state.range(0));
+  graph::PushRelabelOptions options;
+  options.height_init = graph::HeightInit::kZero;
+  options.use_gap_heuristic = false;
+  options.global_relabel_interval_factor = 0;
+  for (auto _ : state) {
+    graph::PushRelabel engine(g.net, g.source, g.sink, options);
+    benchmark::DoNotOptimize(engine.solve_from_zero().value);
+  }
+}
+BENCHMARK(BM_PushRelabel_NoHeuristics_Bipartite)->Arg(100)->Arg(400);
+
+void BM_PushRelabelHighestLabel_Bipartite(benchmark::State& state) {
+  auto g = make_bipartite(state.range(0));
+  for (auto _ : state) {
+    graph::HighestLabelPushRelabel engine(g.net, g.source, g.sink);
+    benchmark::DoNotOptimize(engine.solve_from_zero().value);
+  }
+}
+BENCHMARK(BM_PushRelabelHighestLabel_Bipartite)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_CapacityScaling_Bipartite(benchmark::State& state) {
+  auto g = make_bipartite(state.range(0));
+  for (auto _ : state) {
+    graph::CapacityScalingMaxflow engine(g.net, g.source, g.sink);
+    benchmark::DoNotOptimize(engine.solve_from_zero().value);
+  }
+}
+BENCHMARK(BM_CapacityScaling_Bipartite)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_PushRelabel_Layered(benchmark::State& state) {
+  auto g = make_layered(state.range(0));
+  for (auto _ : state) {
+    graph::PushRelabel engine(g.net, g.source, g.sink);
+    benchmark::DoNotOptimize(engine.solve_from_zero().value);
+  }
+}
+BENCHMARK(BM_PushRelabel_Layered)->Arg(8)->Arg(32);
+
+void BM_Dinic_Layered(benchmark::State& state) {
+  auto g = make_layered(state.range(0));
+  for (auto _ : state) {
+    graph::Dinic engine(g.net, g.source, g.sink);
+    benchmark::DoNotOptimize(engine.solve_from_zero().value);
+  }
+}
+BENCHMARK(BM_Dinic_Layered)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Extension bench (not a paper figure): continuous query-stream scheduling.
+//
+// Paper Section II-A motivates the initial-load parameter X_j with queries
+// arriving while disks are still busy.  This bench quantifies that regime:
+// a Poisson-ish stream of queries is pushed through QueryStreamScheduler at
+// several arrival rates, and for each rate we report mean/max response time
+// and the mean bottleneck backlog — comparing the optimal integrated
+// scheduler against a naive "first replica" strategy to show how much the
+// max-flow formulation buys under load.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/stream.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "workload/experiments.h"
+
+namespace {
+
+using namespace repflow;
+
+/// Naive baseline: every bucket from its first replica (site 0 copy).
+core::Schedule first_replica_schedule(const core::RetrievalProblem& p) {
+  core::Schedule s;
+  s.per_disk_count.assign(static_cast<std::size_t>(p.total_disks()), 0);
+  for (const auto& replicas : p.replicas) {
+    s.assigned_disk.push_back(replicas.front());
+    ++s.per_disk_count[static_cast<std::size_t>(replicas.front())];
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  repflow::CliFlags extra;
+  extra.define("disks", "16", "disks per site");
+  extra.define("stream", "80", "queries per stream");
+  const bench::SweepConfig config = bench::parse_sweep(
+      argc, argv, "stream bench: optimal vs naive under arrival pressure",
+      &extra);
+  const auto n = static_cast<std::int32_t>(extra.get_int("disks"));
+  const auto stream_len = static_cast<std::int32_t>(extra.get_int("stream"));
+  bench::print_banner("Extension: query-stream scheduling under load",
+                      config);
+
+  CsvWriter csv(config.csv);
+  csv.write_header({"interarrival_ms", "policy", "mean_resp_ms",
+                    "max_resp_ms", "mean_backlog_ms"});
+
+  const auto rep =
+      decluster::make_orthogonal(n, decluster::SiteMapping::kCopyPerSite);
+  Rng sys_rng(config.seed);
+  const auto sys = workload::make_experiment_system(4, n, sys_rng);
+  const workload::QueryGenerator gen(n, workload::QueryType::kRange,
+                                     workload::LoadKind::kLoad2);
+
+  TablePrinter table({"interarrival (ms)", "policy", "mean resp (ms)",
+                      "max resp (ms)", "mean backlog (ms)"});
+  for (double interarrival : {1000.0, 200.0, 50.0, 10.0}) {
+    // Optimal integrated scheduling.
+    {
+      core::QueryStreamScheduler stream(rep, sys);
+      Rng rng(config.seed + 1);
+      double t = 0.0;
+      for (std::int32_t i = 0; i < stream_len; ++i) {
+        stream.submit(gen.next(rng), t);
+        t += interarrival * rng.uniform(0.5, 1.5);
+      }
+      const auto s = stream.stats();
+      table.add_row({format_double(interarrival, 0), "optimal (Alg 6)",
+                     format_double(s.mean_response_ms, 2),
+                     format_double(s.max_response_ms, 2),
+                     format_double(s.mean_queue_wait_ms, 2)});
+      csv.write_row({format_double(interarrival, 0), "optimal",
+                     format_double(s.mean_response_ms, 4),
+                     format_double(s.max_response_ms, 4),
+                     format_double(s.mean_queue_wait_ms, 4)});
+    }
+    // Naive first-replica scheduling (same arrival sequence).
+    {
+      Rng rng(config.seed + 1);
+      std::vector<double> busy(static_cast<std::size_t>(sys.total_disks()),
+                               0.0);
+      RunningStats resp, backlog;
+      double t = 0.0;
+      double makespan = 0.0;
+      for (std::int32_t i = 0; i < stream_len; ++i) {
+        auto system = sys;
+        double max_b = 0.0;
+        for (std::size_t d = 0; d < busy.size(); ++d) {
+          system.init_load_ms[d] = std::max(0.0, busy[d] - t);
+          max_b = std::max(max_b, system.init_load_ms[d]);
+        }
+        const auto problem = core::build_problem(rep, gen.next(rng), system);
+        const auto schedule = first_replica_schedule(problem);
+        const double response = schedule.response_time(system);
+        for (std::size_t d = 0; d < busy.size(); ++d) {
+          if (schedule.per_disk_count[d] > 0) {
+            busy[d] = t + problem.completion_time(static_cast<std::int32_t>(d),
+                                                  schedule.per_disk_count[d]);
+          }
+        }
+        resp.add(response);
+        backlog.add(max_b);
+        makespan = std::max(makespan, t + response);
+        t += interarrival * rng.uniform(0.5, 1.5);
+      }
+      table.add_row({format_double(interarrival, 0), "naive first-replica",
+                     format_double(resp.mean(), 2),
+                     format_double(resp.max(), 2),
+                     format_double(backlog.mean(), 2)});
+      csv.write_row({format_double(interarrival, 0), "naive",
+                     format_double(resp.mean(), 4),
+                     format_double(resp.max(), 4),
+                     format_double(backlog.mean(), 4)});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nshape to expect: at low pressure both policies are close (empty "
+      "disks);\nas interarrival shrinks, the naive policy's imbalance "
+      "compounds through the\nbacklog and its response times blow up, while "
+      "the optimizer spreads the work.\n");
+  return 0;
+}

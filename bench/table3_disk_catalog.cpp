@@ -1,0 +1,23 @@
+// Table III reproduction: the disk catalog with average block access times.
+#include <cstdio>
+#include <iostream>
+
+#include "support/table.h"
+#include "workload/disks.h"
+
+int main() {
+  using namespace repflow;
+  std::printf("== Table III: Disk specifications ==\n\n");
+  TablePrinter table({"Producer", "Model", "Type", "RPM", "Time (ms)"});
+  for (const auto& spec : workload::disk_catalog()) {
+    table.begin_row();
+    table.add_cell(spec.producer);
+    table.add_cell(spec.model);
+    table.add_cell(spec.type == workload::DiskType::kHdd ? "HDD" : "SSD");
+    table.add_cell(spec.rpm ? std::to_string(spec.rpm) : "-");
+    table.add_cell(spec.access_time_ms, 1);
+    table.end_row();
+  }
+  table.print(std::cout);
+  return 0;
+}

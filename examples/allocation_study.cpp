@@ -1,0 +1,75 @@
+// Allocation study: how the choice of replicated declustering scheme
+// (Section VI-A) affects both retrieval quality (response time) and
+// scheduling cost (solver runtime).
+//
+// For each scheme (RDA / Dependent / Orthogonal) the study reports, over a
+// batch of random range and arbitrary queries:
+//   - mean optimal response time (lower = the replica pairs spread better),
+//   - mean scheduling time of the integrated Algorithm 6,
+//   - the single-copy additive error profile of the first copy.
+#include <cstdio>
+
+#include "core/solve.h"
+#include "decluster/analysis.h"
+#include "decluster/schemes.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/timing.h"
+#include "workload/experiments.h"
+#include "workload/query_load.h"
+
+int main() {
+  using namespace repflow;
+  const std::int32_t n = 12;
+  const std::int32_t batch = 60;
+  Rng system_rng(99);
+  const auto system = workload::make_experiment_system(4, n, system_rng);
+
+  std::printf(
+      "allocation scheme study: %dx%d grid, 2 sites x %d mixed disks, %d "
+      "queries/batch\n\n",
+      n, n, n, batch);
+  std::printf("%-12s %-10s %16s %18s %18s\n", "scheme", "qtype",
+              "mean resp (ms)", "mean solve (ms)", "worst additive err");
+
+  for (auto scheme : {decluster::Scheme::kRda, decluster::Scheme::kDependent,
+                      decluster::Scheme::kOrthogonal}) {
+    Rng rng(1234);
+    const auto allocation = decluster::make_scheme(
+        scheme, n, decluster::SiteMapping::kCopyPerSite, rng);
+    const auto error_profile =
+        decluster::additive_error_profile(allocation.copy(0));
+
+    for (auto qtype :
+         {workload::QueryType::kRange, workload::QueryType::kArbitrary}) {
+      const workload::QueryGenerator gen(n, qtype,
+                                         workload::LoadKind::kLoad2);
+      RunningStats response, solver_time;
+      Rng qrng(555);
+      for (std::int32_t i = 0; i < batch; ++i) {
+        const auto problem =
+            core::build_problem(allocation, gen.next(qrng), system);
+        StopWatch sw;
+        sw.start();
+        const auto result =
+            core::solve(problem, core::SolverKind::kPushRelabelBinary);
+        sw.stop();
+        response.add(result.response_time_ms);
+        solver_time.add(sw.elapsed_ms());
+      }
+      std::printf("%-12s %-10s %16.2f %18.4f %18d\n",
+                  decluster::scheme_name(scheme),
+                  workload::query_type_name(qtype), response.mean(),
+                  solver_time.mean(), error_profile.worst);
+    }
+  }
+
+  std::printf(
+      "\nnotes: the orthogonal scheme guarantees every disk pair appears "
+      "exactly once,\nwhich gives range queries the most balanced replica "
+      "choices; RDA trades worst-case\nguarantees for simplicity; the "
+      "dependent scheme's shifted second copy makes its\nretrieval choices "
+      "more 'obvious', which is why the paper observes lower black-box\n"
+      "runtimes for it (Figure 8a).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Multi-site retrieval: three geographically distant storage arrays holding
+// three copies of a dataset (the application model of paper Section II-A,
+// beyond the two-site evaluation — the generalized formulation of [12]
+// supports any number of sites).
+//
+// Scenario: a GIS tile store replicated across
+//   site 0 - local HDD array      (Raptor 8.3 ms,    1 ms delay)
+//   site 1 - regional SSD array   (X25-E 0.2 ms,    12 ms delay)
+//   site 2 - remote hybrid array  (mixed,            25 ms delay)
+// Site 2's disks also carry initial load from previous queries.
+//
+// The example runs a morning "dashboard" burst of range queries, printing
+// per-query schedules and showing how the optimizer shifts work between the
+// fast-but-far SSDs and the near-but-slow HDDs as query size grows.
+#include <cstdio>
+
+#include "core/schedule.h"
+#include "core/solve.h"
+#include "decluster/allocation.h"
+#include "decluster/schemes.h"
+#include "support/rng.h"
+#include "workload/disks.h"
+#include "workload/query.h"
+
+int main() {
+  using namespace repflow;
+  const std::int32_t n = 10;  // 10x10 grid, 10 disks per site
+
+  // Three copies: the orthogonal pair for sites 0/1 plus a third linear
+  // allocation g(i,j) = (i + 3j) mod N, pairwise "spread" against both.
+  decluster::Allocation third(n, n);
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      third.set_disk(i, j, static_cast<std::int32_t>((i + 3 * j) % n));
+    }
+  }
+  const auto pair =
+      decluster::make_orthogonal(n, decluster::SiteMapping::kCopyPerSite);
+  const decluster::ReplicatedAllocation allocation(
+      {pair.copy(0), pair.copy(1), third},
+      decluster::SiteMapping::kCopyPerSite);
+
+  // Physical system: per-site disk models, delays, and initial loads.
+  Rng rng(7);
+  workload::SystemConfig system;
+  system.num_sites = 3;
+  system.disks_per_site = n;
+  auto add_site = [&](const char* model_name, double delay,
+                      double max_init_load) {
+    for (std::int32_t d = 0; d < n; ++d) {
+      const auto& spec = workload::disk_by_model(model_name);
+      system.cost_ms.push_back(spec.access_time_ms);
+      system.delay_ms.push_back(delay);
+      system.init_load_ms.push_back(
+          max_init_load > 0 ? rng.uniform(0.0, max_init_load) : 0.0);
+      system.model.push_back(spec.model);
+    }
+  };
+  add_site("Raptor", 1.0, 0.0);    // site 0: near HDDs
+  add_site("X25-E", 12.0, 0.0);    // site 1: far fast SSDs
+  add_site("Barracuda", 25.0, 8.0);  // site 2: remote, busy, slow
+
+  std::printf("3-site system: %d disks total\n\n", system.total_disks());
+
+  // The dashboard burst: growing range queries over the same hot region.
+  for (std::int32_t size = 2; size <= 10; size += 2) {
+    const workload::Query query =
+        workload::RangeQuery{1, 1, size, size}.buckets(n);
+    const auto problem = core::build_problem(allocation, query, system);
+    const auto result =
+        core::solve(problem, core::SolverKind::kPushRelabelBinary);
+
+    // Count buckets routed to each site.
+    std::int64_t per_site[3] = {0, 0, 0};
+    for (auto disk : result.schedule.assigned_disk) {
+      ++per_site[system.site_of(disk)];
+    }
+    std::printf(
+        "%2dx%-2d query (%3zu buckets): response %7.2f ms | site split "
+        "%lld / %lld / %lld\n",
+        size, size, query.size(), result.response_time_ms,
+        static_cast<long long>(per_site[0]),
+        static_cast<long long>(per_site[1]),
+        static_cast<long long>(per_site[2]));
+  }
+
+  std::printf(
+      "\nreading the split: tiny queries stay on the near HDD site (delay "
+      "dominates);\nlarge queries shift to the far SSD site whose 0.2 ms "
+      "blocks amortize the 12 ms\nnetwork delay; the remote busy site is "
+      "used only when it still helps the makespan.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Parallel retrieval scheduling: using the lock-free multithreaded
+// push-relabel engine (Section V) for the time-critical scheduling decision.
+//
+// Sweeps thread counts on a batch of large queries and reports scheduling
+// latency, verifying every parallel schedule against the sequential
+// optimum.  On a single-core host the sweep documents the engine's
+// overhead profile instead of a speedup (see EXPERIMENTS.md); on a
+// multi-core box the same binary shows the paper's Figure 10 behaviour.
+#include <cstdio>
+#include <thread>
+
+#include "core/solve.h"
+#include "decluster/schemes.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/timing.h"
+#include "workload/experiments.h"
+#include "workload/query_load.h"
+
+int main() {
+  using namespace repflow;
+  const std::int32_t n = 32;
+  const std::int32_t batch = 12;
+
+  std::printf("hardware threads visible to this host: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  Rng rng(2024);
+  const auto allocation = decluster::make_orthogonal(
+      n, decluster::SiteMapping::kCopyPerSite);
+  const auto system = workload::make_experiment_system(5, n, rng);
+  const workload::QueryGenerator gen(n, workload::QueryType::kArbitrary,
+                                     workload::LoadKind::kLoad1);
+
+  std::vector<core::RetrievalProblem> problems;
+  for (std::int32_t i = 0; i < batch; ++i) {
+    problems.push_back(core::build_problem(allocation, gen.next(rng), system));
+  }
+
+  // Sequential baseline.
+  RunningStats seq;
+  std::vector<double> expected;
+  for (const auto& p : problems) {
+    StopWatch sw;
+    sw.start();
+    const auto r = core::solve(p, core::SolverKind::kPushRelabelBinary);
+    sw.stop();
+    seq.add(sw.elapsed_ms());
+    expected.push_back(r.response_time_ms);
+  }
+  std::printf("%-22s mean %8.3f ms/query\n", "sequential (Alg 6):", seq.mean());
+
+  for (int threads : {1, 2, 4}) {
+    RunningStats par;
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      StopWatch sw;
+      sw.start();
+      const auto r = core::solve(
+          problems[i], core::SolverKind::kParallelPushRelabelBinary, threads);
+      sw.stop();
+      par.add(sw.elapsed_ms());
+      if (std::abs(r.response_time_ms - expected[i]) > 1e-6) {
+        std::fprintf(stderr, "parallel schedule mismatch on query %zu!\n", i);
+        return 1;
+      }
+    }
+    std::printf("parallel, %d thread(s): mean %8.3f ms/query  (x%.2f vs "
+                "sequential)\n",
+                threads, par.mean(), par.mean() / seq.mean());
+  }
+  std::printf("\nall parallel schedules matched the sequential optimum.\n");
+  return 0;
+}

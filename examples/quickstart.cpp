@@ -1,0 +1,76 @@
+// Quickstart: retrieve a replicated query with the optimal response time.
+//
+// Walks the complete public API surface in ~60 lines:
+//   1. build a replicated declustering of an N x N grid (one copy per site),
+//   2. describe the physical system (disk costs, site delays, initial loads),
+//   3. pose a query (any set of buckets, here a rectangular range),
+//   4. solve with the paper's integrated push-relabel algorithm (Alg 6),
+//   5. read the optimal response time and the bucket-to-disk schedule.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/schedule.h"
+#include "core/solve.h"
+#include "decluster/schemes.h"
+#include "support/rng.h"
+#include "workload/disks.h"
+#include "workload/query.h"
+
+int main() {
+  using namespace repflow;
+
+  // 1. Replicated declustering: 8x8 grid, orthogonal scheme, copy 0 on
+  //    site 0's disks (global ids 0-7), copy 1 on site 1's (ids 8-15).
+  const std::int32_t n = 8;
+  const auto allocation =
+      decluster::make_orthogonal(n, decluster::SiteMapping::kCopyPerSite);
+
+  // 2. Physical system: site 0 has Cheetah HDDs (6.1 ms/block) behind a
+  //    2 ms network; site 1 has Vertex SSDs (0.5 ms/block) behind 6 ms.
+  workload::SystemConfig system;
+  system.num_sites = 2;
+  system.disks_per_site = n;
+  for (int site = 0; site < 2; ++site) {
+    const auto& spec =
+        workload::disk_by_model(site == 0 ? "Cheetah" : "Vertex");
+    for (int d = 0; d < n; ++d) {
+      system.cost_ms.push_back(spec.access_time_ms);
+      system.delay_ms.push_back(site == 0 ? 2.0 : 6.0);
+      system.init_load_ms.push_back(0.0);
+      system.model.push_back(spec.model);
+    }
+  }
+
+  // 3. A 4x3 range query anchored at grid position (2, 1).
+  const workload::Query query = workload::RangeQuery{2, 1, 4, 3}.buckets(n);
+  const auto problem = core::build_problem(allocation, query, system);
+
+  // 4. Solve.  SolverKind::kPushRelabelBinary is the paper's Algorithm 6;
+  //    swap in kBlackBoxBinary / kFordFulkersonIncremental / ... to compare.
+  const core::SolveResult result =
+      core::solve(problem, core::SolverKind::kPushRelabelBinary);
+
+  // 5. Results.
+  std::printf("query size        : %zu buckets\n", query.size());
+  std::printf("optimal response  : %.2f ms\n", result.response_time_ms);
+  std::printf("binary probes     : %lld\n",
+              static_cast<long long>(result.binary_probes));
+  std::printf("schedule:\n");
+  for (std::size_t b = 0; b < query.size(); ++b) {
+    const auto disk = result.schedule.assigned_disk[b];
+    std::printf("  bucket (%d,%d) -> disk %2d [%s, site %d]\n", query[b] / n,
+                query[b] % n, disk, system.model[disk].c_str(),
+                system.site_of(disk));
+  }
+  std::printf("per-disk load:\n");
+  for (std::size_t d = 0; d < system.cost_ms.size(); ++d) {
+    if (result.schedule.per_disk_count[d] > 0) {
+      std::printf("  disk %2zu: %lld buckets, completes at %.2f ms\n", d,
+                  static_cast<long long>(result.schedule.per_disk_count[d]),
+                  system.completion_time(static_cast<std::int32_t>(d),
+                                         result.schedule.per_disk_count[d]));
+    }
+  }
+  return 0;
+}

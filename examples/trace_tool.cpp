@@ -1,0 +1,145 @@
+// Trace tool: generate, inspect, and solve workload trace files.
+//
+// A small CLI over the public API, useful for exchanging instances with
+// other retrieval-scheduler implementations:
+//
+//   trace_tool generate out.trace [--n=8] [--experiment=5] [--queries=5]
+//       Write a trace with a fresh allocation/system/query batch.
+//   trace_tool solve in.trace [--solver=alg6]
+//       Solve every query in the trace and print a result table.
+//   trace_tool show in.trace
+//       Print the system and query inventory.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/solve.h"
+#include "core/trace.h"
+#include "decluster/schemes.h"
+#include "support/cli.h"
+#include "support/rng.h"
+#include "support/table.h"
+#include "workload/experiments.h"
+#include "workload/query_load.h"
+
+namespace {
+
+using namespace repflow;
+
+core::SolverKind parse_solver(const std::string& name) {
+  if (name == "alg2") return core::SolverKind::kFordFulkersonIncremental;
+  if (name == "alg5") return core::SolverKind::kPushRelabelIncremental;
+  if (name == "alg6") return core::SolverKind::kPushRelabelBinary;
+  if (name == "blackbox") return core::SolverKind::kBlackBoxBinary;
+  if (name == "parallel") return core::SolverKind::kParallelPushRelabelBinary;
+  throw std::invalid_argument(
+      "unknown --solver (use alg2|alg5|alg6|blackbox|parallel)");
+}
+
+int generate(const CliFlags& flags) {
+  const auto n = static_cast<std::int32_t>(flags.get_int("n"));
+  const auto experiment =
+      static_cast<std::int32_t>(flags.get_int("experiment"));
+  const auto count = static_cast<std::int32_t>(flags.get_int("queries"));
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const auto rep =
+      decluster::make_orthogonal(n, decluster::SiteMapping::kCopyPerSite);
+  core::Trace trace;
+  trace.system = workload::make_experiment_system(experiment, n, rng);
+  const workload::QueryGenerator gen(n, workload::QueryType::kRange,
+                                     workload::LoadKind::kLoad2);
+  for (std::int32_t i = 0; i < count; ++i) {
+    const auto query = gen.next(rng);
+    core::Trace::TraceQuery tq;
+    for (auto b : query) {
+      tq.bucket_ids.push_back(b);
+      tq.replicas.push_back(rep.replica_disks_unique(b / n, b % n));
+    }
+    trace.queries.push_back(std::move(tq));
+  }
+  const std::string path = flags.positional()[1];
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  write_trace(out, trace);
+  std::printf("wrote %zu queries over %d disks to %s\n",
+              trace.queries.size(), trace.system.total_disks(), path.c_str());
+  return 0;
+}
+
+int show(const core::Trace& trace) {
+  std::printf("system: %d sites x %d disks\n", trace.system.num_sites,
+              trace.system.disks_per_site);
+  TablePrinter disks({"disk", "model", "C (ms)", "D (ms)", "X (ms)"});
+  for (std::int32_t d = 0; d < trace.system.total_disks(); ++d) {
+    disks.begin_row();
+    disks.add_cell(static_cast<long long>(d));
+    disks.add_cell(trace.system.model[d]);
+    disks.add_cell(trace.system.cost_ms[d], 2);
+    disks.add_cell(trace.system.delay_ms[d], 2);
+    disks.add_cell(trace.system.init_load_ms[d], 2);
+    disks.end_row();
+  }
+  disks.print(std::cout);
+  for (std::size_t qi = 0; qi < trace.queries.size(); ++qi) {
+    std::printf("query %zu: %zu buckets\n", qi,
+                trace.queries[qi].replicas.size());
+  }
+  return 0;
+}
+
+int solve_all(const core::Trace& trace, core::SolverKind kind) {
+  TablePrinter table({"query", "|Q|", "response (ms)", "bottleneck disk"});
+  for (std::size_t qi = 0; qi < trace.queries.size(); ++qi) {
+    const auto problem = trace.problem(qi);
+    const auto result = core::solve(problem, kind, 2);
+    table.begin_row();
+    table.add_cell(static_cast<long long>(qi));
+    table.add_cell(static_cast<long long>(problem.query_size()));
+    table.add_cell(result.response_time_ms, 3);
+    table.add_cell(static_cast<long long>(
+        result.schedule.bottleneck_disk(problem.system)));
+    table.end_row();
+  }
+  std::printf("solver: %s\n", core::solver_name(kind));
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.define("n", "8", "grid size / disks per site (generate)");
+  flags.define("experiment", "5", "Table IV experiment number (generate)");
+  flags.define("queries", "5", "queries to generate");
+  flags.define("seed", "1", "workload seed (generate)");
+  flags.define("solver", "alg6", "solver for 'solve'");
+  try {
+    flags.parse(argc, argv);
+    if (flags.help_requested() || flags.positional().size() < 2) {
+      flags.print_help(
+          "usage: trace_tool generate|show|solve <file> [flags]");
+      return flags.help_requested() ? 0 : 2;
+    }
+    const std::string command = flags.positional()[0];
+    if (command == "generate") return generate(flags);
+    std::ifstream in(flags.positional()[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", flags.positional()[1].c_str());
+      return 1;
+    }
+    const core::Trace trace = core::read_trace(in);
+    if (command == "show") return show(trace);
+    if (command == "solve") {
+      return solve_all(trace, parse_solver(flags.get("solver")));
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

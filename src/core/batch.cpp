@@ -1,0 +1,52 @@
+#include "core/batch.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace repflow::core {
+
+std::vector<SolveResult> solve_batch(
+    const std::vector<RetrievalProblem>& problems,
+    const BatchOptions& options) {
+  if (options.threads < 1 || options.solver_threads < 1) {
+    throw std::invalid_argument("solve_batch: bad thread counts");
+  }
+  std::vector<SolveResult> results(problems.size());
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto work = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= problems.size()) return;
+      try {
+        results[i] =
+            solve(problems[i], options.solver, options.solver_threads);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  if (options.threads == 1 || problems.size() <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    const int workers = static_cast<int>(
+        std::min<std::size_t>(problems.size(),
+                              static_cast<std::size_t>(options.threads)));
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) pool.emplace_back(work);
+    for (auto& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace repflow::core

@@ -1,0 +1,32 @@
+// Inter-query parallelism: solve a batch of retrieval problems across a
+// thread pool, one solver instance per worker.
+//
+// Section V parallelizes *within* one max-flow (intra-query).  Storage
+// arrays also face the embarrassingly parallel case of many independent
+// queries arriving together; this utility covers that axis and lets the
+// benches compare intra- vs inter-query parallelism on the same workload.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/problem.h"
+#include "core/solve.h"
+
+namespace repflow::core {
+
+struct BatchOptions {
+  int threads = 2;
+  SolverKind solver = SolverKind::kPushRelabelBinary;
+  /// Threads given to each solver (only for the parallel solver kind).
+  int solver_threads = 1;
+};
+
+/// Solve all problems; results are returned in input order.  Problems are
+/// distributed dynamically (an atomic cursor), so skewed query sizes load-
+/// balance.  Throws whatever a solver throws (first error wins).
+std::vector<SolveResult> solve_batch(
+    const std::vector<RetrievalProblem>& problems,
+    const BatchOptions& options = {});
+
+}  // namespace repflow::core

@@ -1,0 +1,81 @@
+#include "core/black_box.h"
+
+#include "graph/dinic.h"
+#include "graph/ford_fulkerson.h"
+
+namespace repflow::core {
+
+BlackBoxBinarySolver::BlackBoxBinarySolver(const RetrievalProblem& problem,
+                                           BlackBoxEngine engine,
+                                           graph::PushRelabelOptions pr_options)
+    : problem_(problem),
+      network_(problem),
+      engine_(engine),
+      pr_options_(pr_options) {}
+
+graph::Cap BlackBoxBinarySolver::run_probe(SolveResult& result) {
+  auto& net = network_.net();
+  ++result.maxflow_runs;
+  switch (engine_) {
+    case BlackBoxEngine::kPushRelabel: {
+      graph::PushRelabel solver(net, network_.source(), network_.sink(),
+                                pr_options_);
+      auto r = solver.solve_from_zero();
+      result.flow_stats += r.stats;
+      return r.value;
+    }
+    case BlackBoxEngine::kFordFulkerson: {
+      graph::FordFulkerson solver(net, network_.source(), network_.sink(),
+                                  graph::SearchOrder::kBfs);
+      auto r = solver.solve_from_zero();
+      result.flow_stats += r.stats;
+      return r.value;
+    }
+    case BlackBoxEngine::kDinic: {
+      graph::Dinic solver(net, network_.source(), network_.sink());
+      auto r = solver.solve_from_zero();
+      result.flow_stats += r.stats;
+      return r.value;
+    }
+  }
+  return 0;
+}
+
+SolveResult BlackBoxBinarySolver::solve() {
+  SolveResult result;
+  const std::int64_t q = problem_.query_size();
+
+  TimeBounds bounds = compute_time_bounds(problem_);
+  double tmin = bounds.tmin;
+  double tmax = bounds.tmax;
+
+  // Binary capacity scaling, each probe a fresh max-flow from zero.
+  while (tmax - tmin >= bounds.min_speed) {
+    const double tmid = tmin + (tmax - tmin) * 0.5;
+    network_.set_capacities_for_time(tmid);
+    const graph::Cap reached = run_probe(result);
+    ++result.binary_probes;
+    if (reached != q) {
+      tmin = tmid;
+    } else {
+      tmax = tmid;
+    }
+  }
+
+  // Final incrementation from caps(tmin), again re-solving from zero after
+  // every capacity bump — the cost the integrated algorithm eliminates.
+  network_.set_capacities_for_time(tmin);
+  CapacityIncrementer incrementer(network_);
+  graph::Cap reached = 0;
+  do {
+    incrementer.increment_min_cost();
+    reached = run_probe(result);
+  } while (reached != q);
+
+  result.capacity_steps = incrementer.steps();
+  result.schedule = extract_schedule(network_);
+  result.response_time_ms = result.schedule.response_time(problem_.system);
+  return result;
+}
+
+}  // namespace repflow::core

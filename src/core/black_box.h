@@ -1,0 +1,44 @@
+// The black-box baseline of [12] (Altiparmak & Tosun, generalized optimal
+// response time retrieval): identical binary capacity scaling and min-cost
+// incrementation as Algorithm 6, but every feasibility probe runs a fresh
+// max-flow from zero flow — no flow conservation.  This is the algorithm
+// the paper's "bb/int" ratio figures (7, 8, 9) compare against.
+#pragma once
+
+#include "core/increment.h"
+#include "core/network.h"
+#include "core/solver.h"
+#include "graph/push_relabel.h"
+
+namespace repflow::core {
+
+/// Which engine the black box calls (the paper uses LEDA's push-relabel;
+/// FF/Dinic are provided for the ablation bench).
+enum class BlackBoxEngine {
+  kPushRelabel,
+  kFordFulkerson,
+  kDinic,
+};
+
+class BlackBoxBinarySolver {
+ public:
+  explicit BlackBoxBinarySolver(
+      const RetrievalProblem& problem,
+      BlackBoxEngine engine = BlackBoxEngine::kPushRelabel,
+      graph::PushRelabelOptions pr_options = {});
+
+  SolveResult solve();
+
+  const RetrievalNetwork& network() const { return network_; }
+
+ private:
+  /// One from-zero max-flow run under the current capacities.
+  graph::Cap run_probe(SolveResult& result);
+
+  const RetrievalProblem& problem_;
+  RetrievalNetwork network_;
+  BlackBoxEngine engine_;
+  graph::PushRelabelOptions pr_options_;
+};
+
+}  // namespace repflow::core

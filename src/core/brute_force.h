@@ -1,0 +1,29 @@
+// Exhaustive brute-force solver for tiny instances.
+//
+// Enumerates every bucket-to-replica assignment (c^|Q| schedules) and
+// returns the one with the smallest response time.  Completely independent
+// of flow machinery — the strongest possible oracle for property tests.
+// Refuses instances whose search space exceeds `max_assignments`.
+#pragma once
+
+#include <cstdint>
+
+#include "core/problem.h"
+#include "core/solver.h"
+
+namespace repflow::core {
+
+class BruteForceSolver {
+ public:
+  explicit BruteForceSolver(const RetrievalProblem& problem,
+                            std::uint64_t max_assignments = 2'000'000);
+
+  /// Throws std::invalid_argument when the instance is too large.
+  SolveResult solve();
+
+ private:
+  const RetrievalProblem& problem_;
+  std::uint64_t max_assignments_;
+};
+
+}  // namespace repflow::core

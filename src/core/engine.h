@@ -1,0 +1,47 @@
+// The integrated max-flow engine interface consumed by the binary-scaling
+// driver (Algorithm 6).  The sequential implementation wraps the FIFO
+// push-relabel of src/graph; the parallel implementation (src/parallel)
+// substitutes the lock-free multithreaded engine of Section V.
+#pragma once
+
+#include <memory>
+
+#include "graph/maxflow.h"
+#include "graph/push_relabel.h"
+
+namespace repflow::core {
+
+class IntegratedEngine {
+ public:
+  virtual ~IntegratedEngine() = default;
+
+  /// Saturate residual source arcs, reinitialize heights, and run
+  /// push/relabel to completion from the network's current flows.
+  /// Returns the flow value (excess of the sink).
+  virtual graph::Cap resume() = 0;
+
+  /// Realign excess bookkeeping after the driver restored a flow snapshot.
+  virtual void reset_excess_after_restore(graph::Cap sink_excess) = 0;
+
+  virtual const graph::FlowStats& stats() const = 0;
+};
+
+/// Sequential engine: the paper's Algorithm 4/5 machinery.
+class SequentialPushRelabelEngine final : public IntegratedEngine {
+ public:
+  SequentialPushRelabelEngine(graph::FlowNetwork& net, graph::Vertex source,
+                              graph::Vertex sink,
+                              graph::PushRelabelOptions options = {})
+      : solver_(net, source, sink, options) {}
+
+  graph::Cap resume() override { return solver_.resume(); }
+  void reset_excess_after_restore(graph::Cap sink_excess) override {
+    solver_.reset_excess_after_restore(sink_excess);
+  }
+  const graph::FlowStats& stats() const override { return solver_.stats(); }
+
+ private:
+  graph::PushRelabel solver_;
+};
+
+}  // namespace repflow::core

@@ -1,0 +1,30 @@
+// Algorithm 1 of the paper (due to Chen & Rotem [18]): the integrated
+// Ford-Fulkerson solver for the *basic* retrieval problem — homogeneous
+// disks, no initial load, no network delay.
+//
+// Sink capacities start at ceil(|Q|/N); each query bucket is routed to the
+// sink by one DFS augmentation, and whenever no augmenting path exists all
+// sink capacities are incremented together.  Worst case O(c * |Q|^2).
+#pragma once
+
+#include "core/network.h"
+#include "core/solver.h"
+
+namespace repflow::core {
+
+class FordFulkersonBasicSolver {
+ public:
+  /// `problem.system.is_basic()` must hold; throws otherwise.
+  explicit FordFulkersonBasicSolver(const RetrievalProblem& problem);
+
+  SolveResult solve();
+
+  /// The network after solve() (tests inspect flows directly).
+  const RetrievalNetwork& network() const { return network_; }
+
+ private:
+  const RetrievalProblem& problem_;
+  RetrievalNetwork network_;
+};
+
+}  // namespace repflow::core

@@ -1,0 +1,55 @@
+#include "core/ford_fulkerson_binary.h"
+
+#include "graph/ford_fulkerson.h"
+
+namespace repflow::core {
+
+FordFulkersonBinarySolver::FordFulkersonBinarySolver(
+    const RetrievalProblem& problem)
+    : problem_(problem), network_(problem) {}
+
+SolveResult FordFulkersonBinarySolver::solve() {
+  SolveResult result;
+  auto& net = network_.net();
+  const std::int64_t q = problem_.query_size();
+  graph::FordFulkerson engine(net, network_.source(), network_.sink(),
+                              graph::SearchOrder::kBfs);
+
+  TimeBounds bounds = compute_time_bounds(problem_);
+  double tmin = bounds.tmin;
+  double tmax = bounds.tmax;
+  std::vector<graph::Cap> saved_flows = net.save_flows();  // all-zero
+  graph::Cap reached = 0;
+
+  while (tmax - tmin >= bounds.min_speed) {
+    const double tmid = tmin + (tmax - tmin) * 0.5;
+    network_.set_capacities_for_time(tmid);
+    reached += engine.run();  // augment from the conserved flow
+    ++result.binary_probes;
+    if (reached != q) {
+      saved_flows = net.save_flows();
+      tmin = tmid;
+    } else {
+      net.restore_flows(saved_flows);
+      reached = net.flow_into(network_.sink());
+      tmax = tmid;
+    }
+  }
+
+  net.restore_flows(saved_flows);
+  reached = net.flow_into(network_.sink());
+  network_.set_capacities_for_time(tmin);
+  CapacityIncrementer incrementer(network_);
+  while (reached != q) {
+    incrementer.increment_min_cost();
+    reached += engine.run();
+  }
+
+  result.capacity_steps = incrementer.steps();
+  result.flow_stats = engine.stats();
+  result.schedule = extract_schedule(network_);
+  result.response_time_ms = result.schedule.response_time(problem_.system);
+  return result;
+}
+
+}  // namespace repflow::core

@@ -1,0 +1,35 @@
+// Integrated Ford-Fulkerson with binary capacity scaling.
+//
+// Not evaluated in the paper, but the natural fourth cell of the algorithm
+// matrix {Ford-Fulkerson, push-relabel} x {incremental only, binary
+// scaling}: Algorithm 6's driver (range bounding, snapshot-conserving
+// binary search, min-cost finish) with augmenting-path max-flow instead of
+// push-relabel.  Because Ford-Fulkerson works with flows (never preflows),
+// conservation is even simpler: a flow valid under caps(t) is valid under
+// caps(t') for every t' >= t, so only the infeasible-probe snapshots are
+// needed, exactly as in Algorithm 6.
+//
+// The ablation bench uses it to separate "binary scaling helps" from
+// "push-relabel helps" in the paper's Figure 5/6 gap.
+#pragma once
+
+#include "core/increment.h"
+#include "core/network.h"
+#include "core/solver.h"
+
+namespace repflow::core {
+
+class FordFulkersonBinarySolver {
+ public:
+  explicit FordFulkersonBinarySolver(const RetrievalProblem& problem);
+
+  SolveResult solve();
+
+  const RetrievalNetwork& network() const { return network_; }
+
+ private:
+  const RetrievalProblem& problem_;
+  RetrievalNetwork network_;
+};
+
+}  // namespace repflow::core

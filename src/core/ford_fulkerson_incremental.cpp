@@ -1,0 +1,41 @@
+#include "core/ford_fulkerson_incremental.h"
+
+#include "graph/ford_fulkerson.h"
+
+namespace repflow::core {
+
+FordFulkersonIncrementalSolver::FordFulkersonIncrementalSolver(
+    const RetrievalProblem& problem)
+    : problem_(problem), network_(problem) {}
+
+SolveResult FordFulkersonIncrementalSolver::solve() {
+  SolveResult result;
+  auto& net = network_.net();
+  const std::int64_t q = problem_.query_size();
+
+  // Lines 1-2: capacities start at zero.
+  network_.set_uniform_capacities(0);
+  CapacityIncrementer incrementer(network_);
+
+  for (std::int64_t b = 0; b < q; ++b) {
+    net.set_pair_flow(network_.source_arc(b), 1);
+  }
+
+  graph::FordFulkerson engine(net, network_.source(), network_.sink(),
+                              graph::SearchOrder::kDfs);
+  for (std::int64_t b = 0; b < q; ++b) {
+    // Lines 3-7: augment this bucket, admitting the cheapest next
+    // completion slot whenever the residual graph has no path.
+    while (engine.augment_once(network_.bucket_vertex(b)) == 0) {
+      incrementer.increment_min_cost();
+    }
+  }
+
+  result.capacity_steps = incrementer.steps();
+  result.flow_stats = engine.stats();
+  result.schedule = extract_schedule(network_);
+  result.response_time_ms = result.schedule.response_time(problem_.system);
+  return result;
+}
+
+}  // namespace repflow::core

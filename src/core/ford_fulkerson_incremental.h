@@ -1,0 +1,30 @@
+// Algorithm 2 of the paper: the integrated Ford-Fulkerson solver for the
+// *generalized* retrieval problem.
+//
+// Differences from Algorithm 1: sink capacities start at 0 (no closed-form
+// lower bound exists with heterogeneous disks), and failed augmentations
+// trigger IncrementMinCost (Algorithm 3) instead of a uniform bump, so only
+// the disk(s) whose next bucket completes earliest gain capacity.  Worst
+// case O(c^2 * |Q|^2).
+#pragma once
+
+#include "core/increment.h"
+#include "core/network.h"
+#include "core/solver.h"
+
+namespace repflow::core {
+
+class FordFulkersonIncrementalSolver {
+ public:
+  explicit FordFulkersonIncrementalSolver(const RetrievalProblem& problem);
+
+  SolveResult solve();
+
+  const RetrievalNetwork& network() const { return network_; }
+
+ private:
+  const RetrievalProblem& problem_;
+  RetrievalNetwork network_;
+};
+
+}  // namespace repflow::core

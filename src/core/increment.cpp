@@ -1,0 +1,86 @@
+#include "core/increment.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace repflow::core {
+
+namespace {
+// Two next-completion costs are "the same minimum" when equal up to noise;
+// all costs are short sums/products of catalog constants, so 1e-9 relative
+// play is ample.
+constexpr double kCostEpsilon = 1e-9;
+}  // namespace
+
+CapacityIncrementer::CapacityIncrementer(RetrievalNetwork& network)
+    : network_(&network) {
+  const std::int32_t disks = network.problem().total_disks();
+  caps_.reserve(static_cast<std::size_t>(disks));
+  for (DiskId d = 0; d < disks; ++d) {
+    caps_.push_back(network.net().capacity(network.sink_arc(d)));
+    // A disk already saturated by its in-degree never joins the live set
+    // (Algorithm 3 lines 3-5 would delete it on the first step anyway).
+    if (network.in_degree(d) > caps_.back()) live_.push_back(d);
+  }
+}
+
+double CapacityIncrementer::increment_min_cost() {
+  const auto& sys = network_->problem().system;
+  // Pass 1 (Algorithm 3 lines 1-9): drop exhausted disks, find the minimum
+  // next-completion cost among the survivors.
+  double min_cost = std::numeric_limits<double>::max();
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    const DiskId d = live_[i];
+    if (network_->in_degree(d) <= caps_[static_cast<std::size_t>(d)]) {
+      continue;  // delete from E
+    }
+    live_[alive++] = d;
+    const double cost =
+        sys.delay_ms[d] + sys.init_load_ms[d] +
+        static_cast<double>(caps_[static_cast<std::size_t>(d)] + 1) *
+            sys.cost_ms[d];
+    min_cost = std::min(min_cost, cost);
+  }
+  live_.resize(alive);
+  if (live_.empty()) {
+    throw std::logic_error(
+        "IncrementMinCost: live edge set exhausted before reaching |Q|");
+  }
+  // Pass 2 (lines 10-12): bump every live disk achieving the minimum.
+  for (const DiskId d : live_) {
+    const double cost =
+        sys.delay_ms[d] + sys.init_load_ms[d] +
+        static_cast<double>(caps_[static_cast<std::size_t>(d)] + 1) *
+            sys.cost_ms[d];
+    if (cost <= min_cost + kCostEpsilon) {
+      ++caps_[static_cast<std::size_t>(d)];
+      network_->net().set_capacity(network_->sink_arc(d),
+                                   caps_[static_cast<std::size_t>(d)]);
+      ++total_increments_;
+    }
+  }
+  ++steps_;
+  return min_cost;
+}
+
+TimeBounds compute_time_bounds(const RetrievalProblem& problem) {
+  const auto& sys = problem.system;
+  const double q = static_cast<double>(problem.query_size());
+  const double n = static_cast<double>(problem.total_disks());
+  TimeBounds bounds;
+  bounds.tmax = 0.0;
+  bounds.tmin = std::numeric_limits<double>::max();
+  bounds.min_speed = std::numeric_limits<double>::max();
+  for (DiskId d = 0; d < problem.total_disks(); ++d) {
+    const double fixed = sys.delay_ms[d] + sys.init_load_ms[d];
+    bounds.tmax = std::max(bounds.tmax, fixed + q * sys.cost_ms[d]);
+    bounds.tmin = std::min(bounds.tmin, fixed + (q / n) * sys.cost_ms[d]);
+    bounds.min_speed = std::min(bounds.min_speed, sys.cost_ms[d]);
+  }
+  bounds.tmin -= bounds.min_speed;  // guarantee tmin itself is infeasible
+  return bounds;
+}
+
+}  // namespace repflow::core

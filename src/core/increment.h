@@ -1,0 +1,60 @@
+// IncrementMinCost (paper Algorithm 3): the capacity-incrementation step
+// shared by the generalized integrated algorithms.
+//
+// The live edge set E holds the sink arcs whose disks can still absorb more
+// buckets.  Each step computes, per live disk, the completion time of its
+// *next* bucket, D + X + (cap+1)*C, and increments the capacities of every
+// disk achieving the minimum.  Disks whose capacity has reached their
+// in-degree are removed, bounding the number of steps by O(c*|Q|).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/network.h"
+
+namespace repflow::core {
+
+class CapacityIncrementer {
+ public:
+  /// Captures the network's *current* sink capacities as the baseline (zero
+  /// after construction of a fresh network; caps(tmin) in Algorithm 6).
+  explicit CapacityIncrementer(RetrievalNetwork& network);
+
+  /// One IncrementMinCost step.  Returns the minimum next-completion cost
+  /// (the candidate response time just admitted).  Throws std::logic_error
+  /// if no live edge remains (the caller exceeded total capacity c*|Q|).
+  double increment_min_cost();
+
+  /// Number of steps performed so far.
+  std::int64_t steps() const { return steps_; }
+
+  /// Sum of individual capacity bumps (>= steps(); ties bump several arcs).
+  std::int64_t total_increments() const { return total_increments_; }
+
+  /// Disks still in the live edge set.
+  std::int64_t live_edges() const {
+    return static_cast<std::int64_t>(live_.size());
+  }
+
+ private:
+  RetrievalNetwork* network_;
+  std::vector<DiskId> live_;       // disks whose sink arc is still in E
+  std::vector<std::int64_t> caps_;  // mirror of sink-arc capacities
+  std::int64_t steps_ = 0;
+  std::int64_t total_increments_ = 0;
+};
+
+/// The response-time search range of Algorithm 6 lines 1-11.
+struct TimeBounds {
+  double tmin = 0.0;      // just below the optimistic bound (infeasible)
+  double tmax = 0.0;      // pessimistic bound (always feasible)
+  double min_speed = 0.0; // block cost of the fastest disk (range resolution)
+};
+
+/// Compute [tmin, tmax) exactly as Algorithm 6 does: tmax assumes the whole
+/// query is served by the costliest disk; tmin assumes perfect spread onto
+/// the cheapest, minus one fastest-block time to guarantee infeasibility.
+TimeBounds compute_time_bounds(const RetrievalProblem& problem);
+
+}  // namespace repflow::core

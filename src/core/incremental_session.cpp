@@ -1,0 +1,129 @@
+#include "core/incremental_session.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace repflow::core {
+
+namespace {
+constexpr double kCostEpsilon = 1e-9;
+}  // namespace
+
+IncrementalQuerySession::IncrementalQuerySession(
+    workload::SystemConfig system)
+    : system_(std::move(system)) {
+  if (system_.total_disks() < 1) {
+    throw std::invalid_argument("IncrementalQuerySession: no disks");
+  }
+  reset();
+}
+
+void IncrementalQuerySession::reset() {
+  const std::int32_t disks = system_.total_disks();
+  net_ = std::make_unique<graph::FlowNetwork>(
+      static_cast<graph::Vertex>(disks + 2));
+  source_ = 0;
+  sink_ = 1;
+  sink_arcs_.clear();
+  for (DiskId d = 0; d < disks; ++d) {
+    sink_arcs_.push_back(
+        net_->add_arc(static_cast<graph::Vertex>(2 + d), sink_, 0));
+  }
+  caps_.assign(static_cast<std::size_t>(disks), 0);
+  in_degree_.assign(static_cast<std::size_t>(disks), 0);
+  replicas_.clear();
+  bucket_vertex_.clear();
+  engine_ = std::make_unique<graph::PushRelabel>(*net_, source_, sink_);
+  clean_ = true;
+  capacity_steps_ = 0;
+}
+
+std::int64_t IncrementalQuerySession::add_bucket(
+    const std::vector<DiskId>& replicas) {
+  if (replicas.empty()) {
+    throw std::invalid_argument("add_bucket: bucket needs >= 1 replica");
+  }
+  for (DiskId d : replicas) {
+    if (d < 0 || d >= system_.total_disks()) {
+      throw std::invalid_argument("add_bucket: replica disk out of range");
+    }
+  }
+  const graph::Vertex v = net_->add_vertex();
+  net_->add_arc(source_, v, 1);
+  for (DiskId d : replicas) {
+    net_->add_arc(v, static_cast<graph::Vertex>(2 + d), 1);
+    ++in_degree_[d];
+  }
+  replicas_.push_back(replicas);
+  bucket_vertex_.push_back(v);
+  clean_ = false;
+  return static_cast<std::int64_t>(replicas_.size() - 1);
+}
+
+double IncrementalQuerySession::current_min_cost(DiskId d) const {
+  return system_.delay_ms[d] + system_.init_load_ms[d] +
+         static_cast<double>(caps_[static_cast<std::size_t>(d)] + 1) *
+             system_.cost_ms[d];
+}
+
+void IncrementalQuerySession::increment_min_cost() {
+  double min_cost = std::numeric_limits<double>::max();
+  bool any = false;
+  for (DiskId d = 0; d < system_.total_disks(); ++d) {
+    if (in_degree_[d] <= caps_[static_cast<std::size_t>(d)]) continue;
+    any = true;
+    min_cost = std::min(min_cost, current_min_cost(d));
+  }
+  if (!any) {
+    throw std::logic_error(
+        "IncrementalQuerySession: capacity exhausted before feasibility");
+  }
+  for (DiskId d = 0; d < system_.total_disks(); ++d) {
+    if (in_degree_[d] <= caps_[static_cast<std::size_t>(d)]) continue;
+    if (current_min_cost(d) <= min_cost + kCostEpsilon) {
+      ++caps_[static_cast<std::size_t>(d)];
+      net_->set_capacity(sink_arcs_[d], caps_[static_cast<std::size_t>(d)]);
+    }
+  }
+  ++capacity_steps_;
+}
+
+double IncrementalQuerySession::reoptimize() {
+  const auto q = static_cast<graph::Cap>(replicas_.size());
+  graph::Cap reached = engine_->resume();
+  while (reached != q) {
+    increment_min_cost();
+    reached = engine_->resume();
+  }
+  clean_ = true;
+  return schedule().response_time(system_);
+}
+
+Schedule IncrementalQuerySession::schedule() const {
+  if (!clean_) {
+    throw std::logic_error(
+        "IncrementalQuerySession::schedule: call reoptimize() first");
+  }
+  Schedule s;
+  s.assigned_disk.reserve(replicas_.size());
+  s.per_disk_count.assign(static_cast<std::size_t>(system_.total_disks()),
+                          0);
+  for (std::size_t b = 0; b < replicas_.size(); ++b) {
+    DiskId assigned = -1;
+    for (graph::ArcId a : net_->out_arcs(bucket_vertex_[b])) {
+      if (!net_->is_forward(a) || net_->flow(a) <= 0) continue;
+      const graph::Vertex head = net_->head(a);
+      if (head == source_ || head == sink_) continue;
+      assigned = static_cast<DiskId>(head - 2);
+      break;
+    }
+    if (assigned < 0) {
+      throw std::logic_error("IncrementalQuerySession: unassigned bucket");
+    }
+    s.assigned_disk.push_back(assigned);
+    ++s.per_disk_count[static_cast<std::size_t>(assigned)];
+  }
+  return s;
+}
+
+}  // namespace repflow::core

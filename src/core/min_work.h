@@ -1,0 +1,31 @@
+// Secondary-objective refinement: among all schedules achieving the
+// optimal response time, pick one minimizing the total disk work
+// (sum over buckets of the serving disk's block cost C_j).
+//
+// Motivation: the max-flow optimum is usually not unique — any flow under
+// caps(t*) is response-time optimal, but some waste fast-disk bandwidth or
+// spin slow disks unnecessarily.  Minimizing total work reduces array
+// occupancy (and energy), which directly lowers the initial loads X_j seen
+// by subsequent queries in a stream.  Solved as min-cost max-flow on the
+// retrieval network with caps(t*).
+#pragma once
+
+#include "core/problem.h"
+#include "core/solver.h"
+
+namespace repflow::core {
+
+struct MinWorkResult {
+  SolveResult solve;       ///< response-time-optimal, work-minimal schedule
+  double total_work_ms = 0.0;  ///< sum of C_j over all bucket assignments
+};
+
+/// Two-phase solve: Algorithm 6 for the optimal response time t*, then
+/// min-cost max-flow under caps(t*) with per-assignment cost C_j.
+MinWorkResult solve_min_total_work(const RetrievalProblem& problem);
+
+/// Total work of an arbitrary schedule (for comparisons).
+double schedule_total_work(const RetrievalProblem& problem,
+                           const Schedule& schedule);
+
+}  // namespace repflow::core

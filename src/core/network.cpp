@@ -1,0 +1,55 @@
+#include "core/network.h"
+
+#include <cmath>
+
+namespace repflow::core {
+
+RetrievalNetwork::RetrievalNetwork(const RetrievalProblem& problem)
+    : problem_(&problem) {
+  const std::int64_t q = problem.query_size();
+  const std::int32_t disks = problem.total_disks();
+  net_.add_vertices(static_cast<graph::Vertex>(q + disks + 2));
+  source_ = static_cast<graph::Vertex>(q + disks);
+  sink_ = static_cast<graph::Vertex>(q + disks + 1);
+  source_arcs_.reserve(static_cast<std::size_t>(q));
+  in_degree_.assign(static_cast<std::size_t>(disks), 0);
+  for (std::int64_t b = 0; b < q; ++b) {
+    source_arcs_.push_back(net_.add_arc(source_, bucket_vertex(b), 1));
+    for (DiskId d : problem.replicas[static_cast<std::size_t>(b)]) {
+      net_.add_arc(bucket_vertex(b), disk_vertex(d), 1);
+      ++in_degree_[d];
+    }
+  }
+  sink_arcs_.reserve(static_cast<std::size_t>(disks));
+  for (DiskId d = 0; d < disks; ++d) {
+    sink_arcs_.push_back(net_.add_arc(disk_vertex(d), sink_, 0));
+  }
+}
+
+std::int64_t RetrievalNetwork::capacity_for_time(DiskId disk, double t) const {
+  const auto& sys = problem_->system;
+  const double budget = t - sys.delay_ms[disk] - sys.init_load_ms[disk];
+  if (budget < 0.0) return 0;
+  // The epsilon guards against 7.999999 when the exact quotient is 8.
+  return static_cast<std::int64_t>(
+      std::floor(budget / sys.cost_ms[disk] + 1e-9));
+}
+
+void RetrievalNetwork::set_capacities_for_time(double t) {
+  for (DiskId d = 0; d < problem_->total_disks(); ++d) {
+    net_.set_capacity(sink_arcs_[d], capacity_for_time(d, t));
+  }
+}
+
+void RetrievalNetwork::set_uniform_capacities(std::int64_t cap) {
+  for (graph::ArcId a : sink_arcs_) net_.set_capacity(a, cap);
+}
+
+std::vector<std::int64_t> RetrievalNetwork::sink_capacities() const {
+  std::vector<std::int64_t> caps;
+  caps.reserve(sink_arcs_.size());
+  for (graph::ArcId a : sink_arcs_) caps.push_back(net_.capacity(a));
+  return caps;
+}
+
+}  // namespace repflow::core

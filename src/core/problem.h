@@ -1,0 +1,54 @@
+// The generalized optimal response time retrieval problem (paper Section
+// II-D/E): a query's buckets, the replica disks of each bucket, and the
+// per-disk cost/delay/load parameters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decluster/allocation.h"
+#include "workload/disks.h"
+#include "workload/query.h"
+
+namespace repflow::core {
+
+using DiskId = decluster::DiskId;
+
+/// A fully specified problem instance.  Buckets are re-indexed 0..|Q|-1 in
+/// query order; `replicas[i]` lists the global disk ids holding bucket i.
+struct RetrievalProblem {
+  std::vector<std::vector<DiskId>> replicas;
+  workload::SystemConfig system;
+
+  std::int64_t query_size() const {
+    return static_cast<std::int64_t>(replicas.size());
+  }
+  std::int32_t total_disks() const { return system.total_disks(); }
+
+  /// Throws std::invalid_argument when a bucket has no replica, a disk id is
+  /// out of range, or the system parameter vectors are inconsistent.
+  void validate() const;
+
+  /// Number of query buckets holding a replica on each disk (the in-degree
+  /// of the disk vertex in the flow network).
+  std::vector<std::int32_t> disk_in_degrees() const;
+
+  /// Completion time of `disk` when it serves k buckets (D + X + k*C).
+  double completion_time(DiskId disk, std::int64_t k) const {
+    return system.completion_time(disk, k);
+  }
+};
+
+/// Build the instance for `query` under `allocation` on `system`.
+/// Replica lists are deduplicated (a bucket whose copies collide on one
+/// disk contributes a single arc, matching the max-flow formulation).
+RetrievalProblem build_problem(const decluster::ReplicatedAllocation& allocation,
+                               const workload::Query& query,
+                               workload::SystemConfig system);
+
+/// The optimal response time for the *basic* problem lower bound:
+/// ceil(|Q| / N) accesses on the homogeneous disk.  Only meaningful when
+/// system.is_basic().
+std::int64_t basic_lower_bound_accesses(const RetrievalProblem& problem);
+
+}  // namespace repflow::core

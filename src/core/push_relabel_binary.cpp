@@ -1,0 +1,76 @@
+#include "core/push_relabel_binary.h"
+
+#include <utility>
+#include <vector>
+
+namespace repflow::core {
+
+EngineFactory sequential_engine_factory(graph::PushRelabelOptions options) {
+  return [options](graph::FlowNetwork& net, graph::Vertex source,
+                   graph::Vertex sink) -> std::unique_ptr<IntegratedEngine> {
+    return std::make_unique<SequentialPushRelabelEngine>(net, source, sink,
+                                                         options);
+  };
+}
+
+PushRelabelBinarySolver::PushRelabelBinarySolver(
+    const RetrievalProblem& problem, EngineFactory factory)
+    : problem_(problem), network_(problem), factory_(std::move(factory)) {}
+
+SolveResult PushRelabelBinarySolver::solve() {
+  SolveResult result;
+  auto& net = network_.net();
+  const std::int64_t q = problem_.query_size();
+  auto engine = factory_(net, network_.source(), network_.sink());
+
+  // Phase 1: the search range (Algorithm 6 lines 1-11).
+  TimeBounds bounds = compute_time_bounds(problem_);
+  double tmin = bounds.tmin;
+  double tmax = bounds.tmax;
+
+  // Snapshot of the best (largest-tmin) *infeasible* flow state; valid for
+  // every probe above its tmin because capacities are monotone in t.
+  std::vector<graph::Cap> saved_flows = net.save_flows();  // all-zero
+  graph::Cap saved_excess_t = 0;
+
+  // Phase 2: binary capacity scaling (lines 12-37).
+  while (tmax - tmin >= bounds.min_speed) {
+    const double tmid = tmin + (tmax - tmin) * 0.5;
+    network_.set_capacities_for_time(tmid);
+    const graph::Cap reached = engine->resume();
+    ++result.binary_probes;
+    if (reached != q) {
+      // Infeasible: conserve this flow as the new baseline, shrink from
+      // below (lines 30-33 with the paper's prose reading of the branch).
+      saved_flows = net.save_flows();
+      saved_excess_t = reached;
+      tmin = tmid;
+    } else {
+      // Feasible: this flow may exceed caps(t) for the smaller t probed
+      // next, so fall back to the last infeasible snapshot (lines 34-37).
+      net.restore_flows(saved_flows);
+      engine->reset_excess_after_restore(saved_excess_t);
+      tmax = tmid;
+    }
+  }
+
+  // Phase 3: restore, retune to caps(tmin), and finish incrementally
+  // (lines 38-42 = Algorithm 5's loop).
+  net.restore_flows(saved_flows);
+  engine->reset_excess_after_restore(saved_excess_t);
+  network_.set_capacities_for_time(tmin);
+  CapacityIncrementer incrementer(network_);
+  graph::Cap reached = saved_excess_t;
+  while (reached != q) {
+    incrementer.increment_min_cost();
+    reached = engine->resume();
+  }
+
+  result.capacity_steps = incrementer.steps();
+  result.flow_stats = engine->stats();
+  result.schedule = extract_schedule(network_);
+  result.response_time_ms = result.schedule.response_time(problem_.system);
+  return result;
+}
+
+}  // namespace repflow::core

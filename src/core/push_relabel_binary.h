@@ -1,0 +1,57 @@
+// Algorithm 6 of the paper: the integrated push-relabel solver with binary
+// capacity scaling — the headline contribution.
+//
+// Phase 1 (lines 1-11): bound the optimal response time in [tmin, tmax):
+// tmax serves the whole query from the costliest disk (always feasible),
+// tmin assumes a perfect |Q|/N spread onto the cheapest disk minus one
+// fastest-block time (always infeasible).
+//
+// Phase 2 (lines 12-37): binary search on t.  Each probe retunes the sink
+// capacities to caps(tmid) and *resumes* push-relabel from the conserved
+// flows.  Infeasible probe: keep the flows, snapshot them, raise tmin.
+// Feasible probe: the flow may overshoot smaller future capacities, so
+// restore the last infeasible snapshot and lower tmax.  Flow monotonicity
+// makes every conserved state valid for every later probe.
+//
+// Phase 3 (lines 38-42): from caps(tmin), admit next-cheapest completion
+// slots (IncrementMinCost) until the flow reaches |Q| — Algorithm 5's loop.
+//
+// Worst case O(log|Q| * |Q|^3); much faster in practice thanks to flow
+// conservation (the property the paper's Figures 7-9 quantify).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/engine.h"
+#include "core/increment.h"
+#include "core/network.h"
+#include "core/solver.h"
+
+namespace repflow::core {
+
+/// Factory so the same driver runs with the sequential or the parallel
+/// engine (Section V replaces only the push/relabel loop of line 29).
+using EngineFactory = std::function<std::unique_ptr<IntegratedEngine>(
+    graph::FlowNetwork&, graph::Vertex source, graph::Vertex sink)>;
+
+/// Default factory: the sequential FIFO push-relabel engine.
+EngineFactory sequential_engine_factory(graph::PushRelabelOptions options = {});
+
+class PushRelabelBinarySolver {
+ public:
+  explicit PushRelabelBinarySolver(const RetrievalProblem& problem,
+                                   EngineFactory factory =
+                                       sequential_engine_factory());
+
+  SolveResult solve();
+
+  const RetrievalNetwork& network() const { return network_; }
+
+ private:
+  const RetrievalProblem& problem_;
+  RetrievalNetwork network_;
+  EngineFactory factory_;
+};
+
+}  // namespace repflow::core

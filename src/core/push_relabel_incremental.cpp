@@ -1,0 +1,33 @@
+#include "core/push_relabel_incremental.h"
+
+namespace repflow::core {
+
+PushRelabelIncrementalSolver::PushRelabelIncrementalSolver(
+    const RetrievalProblem& problem, graph::PushRelabelOptions options)
+    : problem_(problem), network_(problem), options_(options) {}
+
+SolveResult PushRelabelIncrementalSolver::solve() {
+  SolveResult result;
+  const std::int64_t q = problem_.query_size();
+
+  network_.set_uniform_capacities(0);
+  CapacityIncrementer incrementer(network_);
+  SequentialPushRelabelEngine engine(network_.net(), network_.source(),
+                                     network_.sink(), options_);
+
+  // Algorithm 5: admit the cheapest next slot, resume from conserved flows,
+  // repeat until the sink's excess reaches |Q|.
+  graph::Cap reached = 0;
+  while (reached != q) {
+    incrementer.increment_min_cost();
+    reached = engine.resume();
+  }
+
+  result.capacity_steps = incrementer.steps();
+  result.flow_stats = engine.stats();
+  result.schedule = extract_schedule(network_);
+  result.response_time_ms = result.schedule.response_time(problem_.system);
+  return result;
+}
+
+}  // namespace repflow::core

@@ -1,0 +1,34 @@
+// Algorithm 5 of the paper as a standalone solver: integrated push-relabel
+// without binary capacity scaling.
+//
+// Capacities start at zero; each iteration admits the next-cheapest
+// completion slot (IncrementMinCost) and resumes push-relabel from the
+// conserved flows until the sink's excess reaches |Q|.
+#pragma once
+
+#include <memory>
+
+#include "core/engine.h"
+#include "core/increment.h"
+#include "core/network.h"
+#include "core/solver.h"
+
+namespace repflow::core {
+
+class PushRelabelIncrementalSolver {
+ public:
+  explicit PushRelabelIncrementalSolver(
+      const RetrievalProblem& problem,
+      graph::PushRelabelOptions options = {});
+
+  SolveResult solve();
+
+  const RetrievalNetwork& network() const { return network_; }
+
+ private:
+  const RetrievalProblem& problem_;
+  RetrievalNetwork network_;
+  graph::PushRelabelOptions options_;
+};
+
+}  // namespace repflow::core

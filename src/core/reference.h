@@ -1,0 +1,27 @@
+// Independent exact reference solver used by the test suite.
+//
+// The optimal response time is always of the form D_j + X_j + k*C_j for some
+// disk j and k in [1, in_degree_j].  This solver enumerates that candidate
+// set, sorts it, and binary-searches for the smallest feasible candidate,
+// checking feasibility with a from-zero Edmonds-Karp max-flow.  It shares no
+// incrementation or push-relabel machinery with the paper's algorithms, so
+// agreement is strong evidence of correctness.
+#pragma once
+
+#include "core/network.h"
+#include "core/solver.h"
+
+namespace repflow::core {
+
+class ReferenceSolver {
+ public:
+  explicit ReferenceSolver(const RetrievalProblem& problem);
+
+  SolveResult solve();
+
+ private:
+  const RetrievalProblem& problem_;
+  RetrievalNetwork network_;
+};
+
+}  // namespace repflow::core

@@ -1,0 +1,101 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace repflow::core {
+
+double Schedule::response_time(const workload::SystemConfig& system) const {
+  double worst = 0.0;
+  for (std::size_t d = 0; d < per_disk_count.size(); ++d) {
+    if (per_disk_count[d] > 0) {
+      worst = std::max(worst, system.completion_time(static_cast<DiskId>(d),
+                                                     per_disk_count[d]));
+    }
+  }
+  return worst;
+}
+
+DiskId Schedule::bottleneck_disk(const workload::SystemConfig& system) const {
+  DiskId best = -1;
+  double worst = -1.0;
+  for (std::size_t d = 0; d < per_disk_count.size(); ++d) {
+    if (per_disk_count[d] > 0) {
+      const double t = system.completion_time(static_cast<DiskId>(d),
+                                              per_disk_count[d]);
+      if (t > worst) {
+        worst = t;
+        best = static_cast<DiskId>(d);
+      }
+    }
+  }
+  return best;
+}
+
+std::string Schedule::to_string() const {
+  std::ostringstream os;
+  os << "Schedule{";
+  for (std::size_t b = 0; b < assigned_disk.size(); ++b) {
+    if (b) os << ", ";
+    os << b << "->" << assigned_disk[b];
+  }
+  os << "}";
+  return os.str();
+}
+
+Schedule extract_schedule(const RetrievalNetwork& network) {
+  const RetrievalProblem& problem = network.problem();
+  const auto& net = network.net();
+  if (network.flow_value() != problem.query_size()) {
+    throw std::logic_error("extract_schedule: flow is not complete");
+  }
+  Schedule schedule;
+  schedule.assigned_disk.assign(
+      static_cast<std::size_t>(problem.query_size()), -1);
+  schedule.per_disk_count.assign(
+      static_cast<std::size_t>(problem.total_disks()), 0);
+  for (std::int64_t b = 0; b < problem.query_size(); ++b) {
+    const graph::Vertex bv = network.bucket_vertex(b);
+    for (graph::ArcId a : net.out_arcs(bv)) {
+      if (!net.is_forward(a) || net.flow(a) <= 0) continue;
+      const graph::Vertex head = net.head(a);
+      if (head == network.source()) continue;
+      const DiskId disk =
+          static_cast<DiskId>(head - network.disk_vertex(0));
+      schedule.assigned_disk[static_cast<std::size_t>(b)] = disk;
+      ++schedule.per_disk_count[static_cast<std::size_t>(disk)];
+      break;  // capacity 1: at most one outgoing unit
+    }
+    if (schedule.assigned_disk[static_cast<std::size_t>(b)] < 0) {
+      throw std::logic_error("extract_schedule: unassigned bucket");
+    }
+  }
+  return schedule;
+}
+
+std::string check_schedule(const RetrievalProblem& problem,
+                           const Schedule& schedule) {
+  if (schedule.assigned_disk.size() !=
+      static_cast<std::size_t>(problem.query_size())) {
+    return "assignment arity mismatch";
+  }
+  std::vector<std::int64_t> counts(
+      static_cast<std::size_t>(problem.total_disks()), 0);
+  for (std::size_t b = 0; b < schedule.assigned_disk.size(); ++b) {
+    const DiskId d = schedule.assigned_disk[b];
+    if (d < 0 || d >= problem.total_disks()) {
+      return "bucket " + std::to_string(b) + " assigned out-of-range disk";
+    }
+    const auto& options = problem.replicas[b];
+    if (std::find(options.begin(), options.end(), d) == options.end()) {
+      return "bucket " + std::to_string(b) + " assigned to non-replica disk " +
+             std::to_string(d);
+    }
+    ++counts[static_cast<std::size_t>(d)];
+  }
+  if (counts != schedule.per_disk_count) return "per-disk counts inconsistent";
+  return {};
+}
+
+}  // namespace repflow::core

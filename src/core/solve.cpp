@@ -1,0 +1,53 @@
+#include "core/solve.h"
+
+#include <stdexcept>
+
+#include "core/black_box.h"
+#include "core/ford_fulkerson_basic.h"
+#include "core/ford_fulkerson_incremental.h"
+#include "core/push_relabel_binary.h"
+#include "core/push_relabel_incremental.h"
+#include "parallel/parallel_engine.h"
+
+namespace repflow::core {
+
+const char* solver_name(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kFordFulkersonBasic:
+      return "FF-basic (Alg 1)";
+    case SolverKind::kFordFulkersonIncremental:
+      return "FF-incremental (Alg 2)";
+    case SolverKind::kPushRelabelIncremental:
+      return "PR-incremental (Alg 5)";
+    case SolverKind::kPushRelabelBinary:
+      return "PR-binary integrated (Alg 6)";
+    case SolverKind::kBlackBoxBinary:
+      return "PR-binary black box [12]";
+    case SolverKind::kParallelPushRelabelBinary:
+      return "PR-binary parallel (Sec V)";
+  }
+  return "?";
+}
+
+SolveResult solve(const RetrievalProblem& problem, SolverKind kind,
+                  int threads) {
+  switch (kind) {
+    case SolverKind::kFordFulkersonBasic:
+      return FordFulkersonBasicSolver(problem).solve();
+    case SolverKind::kFordFulkersonIncremental:
+      return FordFulkersonIncrementalSolver(problem).solve();
+    case SolverKind::kPushRelabelIncremental:
+      return PushRelabelIncrementalSolver(problem).solve();
+    case SolverKind::kPushRelabelBinary:
+      return PushRelabelBinarySolver(problem).solve();
+    case SolverKind::kBlackBoxBinary:
+      return BlackBoxBinarySolver(problem).solve();
+    case SolverKind::kParallelPushRelabelBinary:
+      return PushRelabelBinarySolver(
+                 problem, parallel::parallel_engine_factory(threads))
+          .solve();
+  }
+  throw std::invalid_argument("solve: unknown solver kind");
+}
+
+}  // namespace repflow::core

@@ -1,0 +1,15 @@
+// One-call façade: run any solver of the catalog on a problem instance.
+// This is the primary public API entry point (see examples/quickstart.cpp).
+#pragma once
+
+#include "core/solver.h"
+#include "core/problem.h"
+
+namespace repflow::core {
+
+/// Solve `problem` with the chosen algorithm.  `threads` only matters for
+/// kParallelPushRelabelBinary (ignored otherwise, must be >= 1).
+SolveResult solve(const RetrievalProblem& problem, SolverKind kind,
+                  int threads = 2);
+
+}  // namespace repflow::core

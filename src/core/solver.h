@@ -1,0 +1,36 @@
+// Common result type and the catalog of retrieval solvers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/schedule.h"
+#include "graph/maxflow.h"
+
+namespace repflow::core {
+
+/// What every retrieval solver returns.
+struct SolveResult {
+  double response_time_ms = 0.0;  ///< optimal response time of the query
+  Schedule schedule;              ///< an optimal bucket-to-disk assignment
+  graph::FlowStats flow_stats;    ///< engine operation counters
+  std::int64_t capacity_steps = 0;   ///< IncrementMinCost (or uniform) steps
+  std::int64_t binary_probes = 0;    ///< Algorithm 6 binary-scaling probes
+  std::int64_t maxflow_runs = 0;     ///< full from-zero max-flow runs
+                                     ///< (1 per probe for black box; 0 for
+                                     ///< integrated algorithms)
+};
+
+/// Identifiers for the solver catalog (bench/series labels).
+enum class SolverKind {
+  kFordFulkersonBasic,        // Algorithm 1 [18], basic problem only
+  kFordFulkersonIncremental,  // Algorithms 2+3 (integrated FF, generalized)
+  kPushRelabelIncremental,    // Algorithm 5 (integrated PR, no scaling)
+  kPushRelabelBinary,         // Algorithm 6 (integrated PR + binary scaling)
+  kBlackBoxBinary,            // baseline [12] (black-box PR + binary scaling)
+  kParallelPushRelabelBinary, // Algorithm 6 with the lock-free parallel engine
+};
+
+const char* solver_name(SolverKind kind);
+
+}  // namespace repflow::core

@@ -1,0 +1,77 @@
+// Continuous query-stream scheduling.
+//
+// Paper Section II-A: "initial loads of the disks from the previous queries
+// can also be calculated easily since it is based on how the previous
+// queries are scheduled."  This module closes that loop: a stream scheduler
+// that processes queries arriving over (virtual) time, deriving every
+// query's X_j initial-load vector from the residual work the earlier
+// schedules left on each disk, solving each query optimally with any solver
+// from the catalog, and recording per-query latency statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.h"
+#include "core/schedule.h"
+#include "core/solver.h"
+#include "decluster/allocation.h"
+#include "workload/disks.h"
+#include "workload/query.h"
+
+namespace repflow::core {
+
+/// One processed query of the stream.
+struct StreamEvent {
+  double arrival_ms = 0.0;        ///< when the query arrived
+  double response_ms = 0.0;       ///< optimal response time (incl. waits)
+  double completion_ms = 0.0;     ///< arrival + response
+  double max_initial_load_ms = 0.0;  ///< busiest disk's backlog at arrival
+  std::int64_t buckets = 0;
+  Schedule schedule;
+};
+
+struct StreamStats {
+  std::int64_t queries = 0;
+  double mean_response_ms = 0.0;
+  double max_response_ms = 0.0;
+  double makespan_ms = 0.0;        ///< completion of the last query
+  double mean_queue_wait_ms = 0.0; ///< mean max initial load seen per query
+};
+
+/// Schedules a stream of queries against one replicated allocation,
+/// threading the evolving per-disk busy horizon through the X_j parameter
+/// of consecutive retrieval problems.
+class QueryStreamScheduler {
+ public:
+  /// `base_system` supplies cost C_j and delay D_j; its init_load entries
+  /// are ignored (the scheduler owns the busy horizon).
+  QueryStreamScheduler(const decluster::ReplicatedAllocation& allocation,
+                       workload::SystemConfig base_system,
+                       SolverKind solver = SolverKind::kPushRelabelBinary,
+                       int threads = 2);
+
+  /// Process one query arriving at `arrival_ms` (must be non-decreasing
+  /// across calls; throws otherwise).  Returns the event record.
+  StreamEvent submit(const workload::Query& query, double arrival_ms);
+
+  /// Busy horizon of a disk: the absolute time at which it finishes all
+  /// work scheduled so far.
+  double disk_free_at(DiskId disk) const { return busy_until_[disk]; }
+
+  /// Events processed so far, in submission order.
+  const std::vector<StreamEvent>& events() const { return events_; }
+
+  StreamStats stats() const;
+
+ private:
+  const decluster::ReplicatedAllocation& allocation_;
+  workload::SystemConfig system_;
+  SolverKind solver_;
+  int threads_;
+  std::vector<double> busy_until_;  // absolute ms per disk
+  std::vector<StreamEvent> events_;
+  double last_arrival_ms_ = 0.0;
+};
+
+}  // namespace repflow::core

@@ -1,0 +1,45 @@
+// Workload trace serialization.
+//
+// A trace captures everything needed to replay an experiment cell outside
+// this process: the system (per-disk C/D/X), the replica lists of every
+// query, and the query bucket sets.  The plain-text format is stable and
+// diff-friendly so traces can live in test fixtures or be exchanged with
+// other max-flow retrieval implementations:
+//
+//   trace v1
+//   system <num_sites> <disks_per_site>
+//   disk <id> <model> <cost_ms> <delay_ms> <init_load_ms>   (x total disks)
+//   query <id> <num_buckets>
+//   bucket <bucket_id> <replica_disk>...                    (x num_buckets)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+#include "workload/disks.h"
+
+namespace repflow::core {
+
+struct Trace {
+  workload::SystemConfig system;
+  /// Per query: per bucket, the (bucket id, replica disks) pair.
+  struct TraceQuery {
+    std::vector<std::int32_t> bucket_ids;
+    std::vector<std::vector<std::int32_t>> replicas;
+  };
+  std::vector<TraceQuery> queries;
+
+  /// Convert query `index` into a solvable problem instance.
+  RetrievalProblem problem(std::size_t index) const;
+};
+
+void write_trace(std::ostream& out, const Trace& trace);
+std::string write_trace_string(const Trace& trace);
+
+/// Throws std::runtime_error on malformed input.
+Trace read_trace(std::istream& in);
+Trace read_trace_string(const std::string& text);
+
+}  // namespace repflow::core

@@ -1,0 +1,76 @@
+#include "decluster/analysis.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace repflow::decluster {
+
+std::int32_t max_disk_load(const Allocation& alloc, std::int32_t i,
+                           std::int32_t j, std::int32_t r, std::int32_t c) {
+  const std::int32_t n = alloc.grid_n();
+  if (r < 1 || c < 1 || r > n || c > n) {
+    throw std::invalid_argument("max_disk_load: bad query shape");
+  }
+  std::vector<std::int32_t> counts(
+      static_cast<std::size_t>(alloc.num_disks()), 0);
+  std::int32_t best = 0;
+  for (std::int32_t di = 0; di < r; ++di) {
+    const std::int32_t row = (i + di) % n;
+    for (std::int32_t dj = 0; dj < c; ++dj) {
+      const std::int32_t col = (j + dj) % n;
+      best = std::max(best, ++counts[alloc.disk_of(row, col)]);
+    }
+  }
+  return best;
+}
+
+std::int32_t additive_error(const Allocation& alloc, std::int32_t i,
+                            std::int32_t j, std::int32_t r, std::int32_t c) {
+  const std::int32_t n = alloc.num_disks();
+  const std::int32_t size = r * c;
+  const std::int32_t optimal = (size + n - 1) / n;
+  return max_disk_load(alloc, i, j, r, c) - optimal;
+}
+
+ErrorProfile additive_error_profile(const Allocation& alloc) {
+  const std::int32_t n = alloc.grid_n();
+  const std::int32_t disks = alloc.num_disks();
+  ErrorProfile profile;
+  std::int64_t error_sum = 0;
+  std::vector<std::int32_t> counts(static_cast<std::size_t>(disks), 0);
+  // For each top-left corner and row count, grow the column count
+  // incrementally so each new column costs O(r) updates.
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t r = 1; r <= n; ++r) {
+      for (std::int32_t j = 0; j < n; ++j) {
+        std::fill(counts.begin(), counts.end(), 0);
+        std::int32_t max_load = 0;
+        for (std::int32_t c = 1; c <= n; ++c) {
+          const std::int32_t col = (j + c - 1) % n;
+          for (std::int32_t di = 0; di < r; ++di) {
+            const std::int32_t row = (i + di) % n;
+            max_load = std::max(max_load, ++counts[alloc.disk_of(row, col)]);
+          }
+          const std::int32_t size = r * c;
+          const std::int32_t optimal = (size + disks - 1) / disks;
+          const std::int32_t err = max_load - optimal;
+          profile.worst = std::max(profile.worst, err);
+          error_sum += err;
+          ++profile.queries;
+        }
+      }
+    }
+  }
+  profile.mean = profile.queries
+                     ? static_cast<double>(error_sum) /
+                           static_cast<double>(profile.queries)
+                     : 0.0;
+  return profile;
+}
+
+std::int32_t worst_case_additive_error(const Allocation& alloc) {
+  return additive_error_profile(alloc).worst;
+}
+
+}  // namespace repflow::decluster

@@ -1,0 +1,38 @@
+// Additive-error analysis for declustering schemes.
+//
+// For a single-copy allocation, a range query of size |Q| on N disks is
+// retrieved optimally in ceil(|Q|/N) accesses; the additive error of the
+// query is (max buckets on one disk) - ceil(|Q|/N).  The worst case over all
+// range queries is the standard quality metric of the declustering
+// literature ([43] and the paper's Section I).
+#pragma once
+
+#include <cstdint>
+
+#include "decluster/allocation.h"
+
+namespace repflow::decluster {
+
+/// Number of buckets of the wraparound range query (i, j, r, c) that land on
+/// the busiest disk under `alloc`.
+std::int32_t max_disk_load(const Allocation& alloc, std::int32_t i,
+                           std::int32_t j, std::int32_t r, std::int32_t c);
+
+/// Additive error of one wraparound range query.
+std::int32_t additive_error(const Allocation& alloc, std::int32_t i,
+                            std::int32_t j, std::int32_t r, std::int32_t c);
+
+struct ErrorProfile {
+  std::int32_t worst = 0;
+  double mean = 0.0;
+  std::int64_t queries = 0;
+};
+
+/// Exact scan over all N^4 wraparound range queries.  Intended for small N
+/// (cost grows like N^5); the scheme constructors use it for N <= 16.
+ErrorProfile additive_error_profile(const Allocation& alloc);
+
+/// Convenience: worst component of the profile.
+std::int32_t worst_case_additive_error(const Allocation& alloc);
+
+}  // namespace repflow::decluster

@@ -1,0 +1,96 @@
+#include "decluster/retrieval_cost.h"
+
+#include <stdexcept>
+
+#include "graph/flow_network.h"
+#include "graph/ford_fulkerson.h"
+
+namespace repflow::decluster {
+
+namespace {
+
+/// Feasibility of retrieving the query in k accesses per disk: bipartite
+/// max-flow with unit bucket arcs and sink capacity k.
+bool feasible_in_k(const ReplicatedAllocation& allocation,
+                   const std::vector<BucketId>& query, std::int64_t k) {
+  const std::int32_t n = allocation.grid_n();
+  const std::int32_t disks = allocation.total_disks();
+  const auto q = static_cast<std::int64_t>(query.size());
+  graph::FlowNetwork net(static_cast<graph::Vertex>(q + disks + 2));
+  const auto source = static_cast<graph::Vertex>(q + disks);
+  const auto sink = static_cast<graph::Vertex>(q + disks + 1);
+  for (std::int64_t b = 0; b < q; ++b) {
+    net.add_arc(source, static_cast<graph::Vertex>(b), 1);
+    const auto bucket = query[static_cast<std::size_t>(b)];
+    for (DiskId d : allocation.replica_disks_unique(bucket / n, bucket % n)) {
+      net.add_arc(static_cast<graph::Vertex>(b),
+                  static_cast<graph::Vertex>(q + d), 1);
+    }
+  }
+  for (std::int32_t d = 0; d < disks; ++d) {
+    net.add_arc(static_cast<graph::Vertex>(q + d), sink, k);
+  }
+  graph::FordFulkerson engine(net, source, sink, graph::SearchOrder::kBfs);
+  return engine.solve_from_zero().value == q;
+}
+
+}  // namespace
+
+std::int32_t optimal_retrieval_cost(const ReplicatedAllocation& allocation,
+                                    const std::vector<BucketId>& query) {
+  if (query.empty()) return 0;
+  const std::int64_t q = static_cast<std::int64_t>(query.size());
+  const std::int64_t disks = allocation.total_disks();
+  std::int64_t k = (q + disks - 1) / disks;
+  while (!feasible_in_k(allocation, query, k)) {
+    ++k;
+    if (k > q) {
+      throw std::logic_error(
+          "optimal_retrieval_cost: no feasible k (bucket without replica?)");
+    }
+  }
+  return static_cast<std::int32_t>(k);
+}
+
+std::int32_t replicated_additive_error(const ReplicatedAllocation& allocation,
+                                       const std::vector<BucketId>& query) {
+  if (query.empty()) return 0;
+  const std::int64_t q = static_cast<std::int64_t>(query.size());
+  const std::int64_t disks = allocation.total_disks();
+  const auto lower_bound = static_cast<std::int32_t>((q + disks - 1) / disks);
+  return optimal_retrieval_cost(allocation, query) - lower_bound;
+}
+
+ReplicatedErrorProfile replicated_error_profile(
+    const ReplicatedAllocation& allocation) {
+  const std::int32_t n = allocation.grid_n();
+  ReplicatedErrorProfile profile;
+  std::int64_t error_sum = 0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      for (std::int32_t r = 1; r <= n; ++r) {
+        for (std::int32_t c = 1; c <= n; ++c) {
+          std::vector<BucketId> query;
+          query.reserve(static_cast<std::size_t>(r) * c);
+          for (std::int32_t di = 0; di < r; ++di) {
+            for (std::int32_t dj = 0; dj < c; ++dj) {
+              query.push_back(((i + di) % n) * n + (j + dj) % n);
+            }
+          }
+          const std::int32_t err =
+              replicated_additive_error(allocation, query);
+          profile.worst = std::max(profile.worst, err);
+          error_sum += err;
+          ++profile.queries;
+          if (err == 0) ++profile.zero_error_queries;
+        }
+      }
+    }
+  }
+  profile.mean = profile.queries ? static_cast<double>(error_sum) /
+                                       static_cast<double>(profile.queries)
+                                 : 0.0;
+  return profile;
+}
+
+}  // namespace repflow::decluster

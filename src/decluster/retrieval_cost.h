@@ -1,0 +1,44 @@
+// Replicated retrieval-cost analysis (the metric of Tosun's comparison
+// study [43], which the paper's Section I builds on).
+//
+// For a *replicated* allocation on homogeneous single-site disks, the
+// optimal retrieval cost of a query Q is the smallest k such that every
+// bucket can be assigned to one of its replicas with no disk receiving
+// more than k buckets; the replicated additive error is that k minus the
+// trivial lower bound ceil(|Q|/N).  Replication exists precisely to drive
+// this error to 0 or 1 for every query; this module measures how close
+// each scheme gets.
+#pragma once
+
+#include <cstdint>
+
+#include <vector>
+
+#include "decluster/allocation.h"
+
+namespace repflow::decluster {
+
+/// Optimal number of parallel disk accesses needed to retrieve `query`
+/// under `allocation` (homogeneous disks, single site or copy-per-site —
+/// the bound is per physical disk either way).  Computed by bipartite
+/// max-flow feasibility over k = ceil(|Q|/N), ceil(|Q|/N)+1, ...
+std::int32_t optimal_retrieval_cost(const ReplicatedAllocation& allocation,
+                                    const std::vector<BucketId>& query);
+
+/// optimal_retrieval_cost minus the lower bound ceil(|Q|/N_total).
+std::int32_t replicated_additive_error(const ReplicatedAllocation& allocation,
+                                       const std::vector<BucketId>& query);
+
+struct ReplicatedErrorProfile {
+  std::int32_t worst = 0;
+  double mean = 0.0;
+  std::int64_t queries = 0;
+  std::int64_t zero_error_queries = 0;  ///< retrieved strictly optimally
+};
+
+/// Exact scan over all N^4 wraparound range queries (cost: one max-flow per
+/// query; intended for small N).
+ReplicatedErrorProfile replicated_error_profile(
+    const ReplicatedAllocation& allocation);
+
+}  // namespace repflow::decluster

@@ -1,0 +1,108 @@
+#include "decluster/threshold.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "decluster/analysis.h"
+#include "decluster/schemes.h"
+
+namespace repflow::decluster {
+
+ThresholdAllocation threshold_declustering(
+    std::int32_t n, const ThresholdSearchOptions& options) {
+  const std::int32_t a2 = best_periodic_coefficient(n);
+  Allocation current = periodic_allocation(n, 1, a2);
+  std::int32_t current_error = worst_case_additive_error(current);
+
+  repflow::Rng rng(options.seed);
+  const std::int32_t total = n * n;
+  for (std::int32_t round = 0; round < options.max_rounds; ++round) {
+    if (current_error == 0) break;  // optimal for every range query
+    bool improved = false;
+    for (std::int32_t s = 0; s < options.swaps_per_round; ++s) {
+      // Swap the disks of two buckets on different disks; this preserves
+      // balance exactly.
+      const auto p = static_cast<std::int32_t>(
+          rng.below(static_cast<std::uint64_t>(total)));
+      const auto q = static_cast<std::int32_t>(
+          rng.below(static_cast<std::uint64_t>(total)));
+      const std::int32_t pi = p / n, pj = p % n, qi = q / n, qj = q % n;
+      const DiskId dp = current.disk_of(pi, pj);
+      const DiskId dq = current.disk_of(qi, qj);
+      if (dp == dq) continue;
+      current.set_disk(pi, pj, dq);
+      current.set_disk(qi, qj, dp);
+      const std::int32_t candidate_error = worst_case_additive_error(current);
+      if (candidate_error < current_error) {
+        current_error = candidate_error;
+        improved = true;
+      } else {
+        // Revert.
+        current.set_disk(pi, pj, dp);
+        current.set_disk(qi, qj, dq);
+      }
+    }
+    if (!improved) break;
+  }
+  return ThresholdAllocation{std::move(current), current_error};
+}
+
+ReplicatedAllocation orthogonal_pair_from(const Allocation& first,
+                                          SiteMapping mapping) {
+  if (!first.is_balanced()) {
+    throw std::invalid_argument(
+        "orthogonal_pair_from: first copy must be balanced");
+  }
+  const std::int32_t n = first.grid_n();
+  Allocation second(n, n);
+  std::vector<std::int32_t> rank_in_class(
+      static_cast<std::size_t>(first.num_disks()), 0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      const DiskId d = first.disk_of(i, j);
+      // Rotate by the class id so that the second copy is not simply the
+      // rank pattern everywhere (better column spread).
+      second.set_disk(i, j,
+                      static_cast<DiskId>((rank_in_class[d] + d) % n));
+      ++rank_in_class[d];
+    }
+  }
+  return ReplicatedAllocation({first, std::move(second)}, mapping);
+}
+
+ReplicatedAllocation make_orthogonal_threshold(
+    std::int32_t n, SiteMapping mapping,
+    const ThresholdSearchOptions& options) {
+  return orthogonal_pair_from(threshold_declustering(n, options).allocation,
+                              mapping);
+}
+
+Allocation golden_ratio_allocation(std::int32_t n) {
+  // Column permutation from the golden-ratio sequence: sort columns by
+  // frac(j / phi); perm[j] = rank of column j in that order.
+  constexpr double kInvPhi = 0.6180339887498949;
+  std::vector<std::int32_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> key(static_cast<std::size_t>(n));
+  for (std::int32_t j = 0; j < n; ++j) {
+    key[j] = std::fmod(static_cast<double>(j) * kInvPhi, 1.0);
+  }
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    return key[a] < key[b];
+  });
+  std::vector<std::int32_t> perm(static_cast<std::size_t>(n));
+  for (std::int32_t rank = 0; rank < n; ++rank) perm[order[rank]] = rank;
+
+  Allocation alloc(n, n);
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      alloc.set_disk(i, j, static_cast<DiskId>((i + perm[j]) % n));
+    }
+  }
+  return alloc;
+}
+
+}  // namespace repflow::decluster

@@ -1,0 +1,62 @@
+// Threshold-based declustering (Tosun [44]) and golden-ratio declustering
+// (Chen-Bhatia-Sinha [15]) — the single-copy schemes the paper's
+// allocation study builds on.
+//
+// Threshold-based declustering searches for an allocation whose additive
+// error stays within a threshold for all range queries up to a size bound.
+// The original uses a structured search; we implement a faithful-in-spirit
+// variant: start from the best periodic allocation and locally improve by
+// swapping bucket pairs while the worst-case additive error decreases.
+// The search is exact-scored (decluster/analysis.h) and therefore intended
+// for the small-to-moderate N where the paper's figures use it; beyond the
+// budget it falls back to the periodic seed.
+#pragma once
+
+#include <cstdint>
+
+#include "decluster/allocation.h"
+#include "support/rng.h"
+
+namespace repflow::decluster {
+
+struct ThresholdSearchOptions {
+  std::int32_t max_rounds = 40;       ///< improvement rounds
+  std::int32_t swaps_per_round = 64;  ///< candidate swaps per round
+  std::uint64_t seed = 1;             ///< swap sampling seed
+};
+
+/// Search result: the allocation plus its exact worst-case additive error.
+struct ThresholdAllocation {
+  Allocation allocation;
+  std::int32_t worst_error = 0;
+};
+
+/// Local-search threshold declustering for an N x N grid onto N disks.
+/// Guaranteed balanced (swaps preserve the per-disk histogram) and never
+/// worse than the best periodic allocation it starts from.
+ThresholdAllocation threshold_declustering(
+    std::int32_t n, const ThresholdSearchOptions& options = {});
+
+/// Golden-ratio declustering [15]: bucket (i, j) goes to disk
+/// (i + perm[j]) mod N where perm is the sorted-position permutation of
+/// {frac(k / phi)}.  Near-optimal additive error for range queries.
+Allocation golden_ratio_allocation(std::int32_t n);
+
+/// Complete an arbitrary *balanced* first copy into an orthogonal pair:
+/// within each first-copy disk class (exactly N buckets), the second copy
+/// assigns the N disks as a rotation of the class's row-major rank, so
+/// every (copy0, copy1) disk pair occurs exactly once and the second copy
+/// is balanced too.  This is how the paper combines threshold-based
+/// declustering [44] (first copy) with orthogonal replication [23], [39].
+/// Throws if `first` is not balanced.
+ReplicatedAllocation orthogonal_pair_from(const Allocation& first,
+                                          SiteMapping mapping);
+
+/// Convenience: threshold-declustered first copy + orthogonal second copy
+/// (the paper's exact recipe for its Orthogonal series, practical for the
+/// small N where exact threshold scoring is affordable).
+ReplicatedAllocation make_orthogonal_threshold(
+    std::int32_t n, SiteMapping mapping,
+    const ThresholdSearchOptions& options = {});
+
+}  // namespace repflow::decluster

@@ -1,0 +1,80 @@
+#include "graph/capacity_scaling.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace repflow::graph {
+
+CapacityScalingMaxflow::CapacityScalingMaxflow(FlowNetwork& net,
+                                               Vertex source, Vertex sink)
+    : net_(net), source_(source), sink_(sink) {
+  if (source < 0 || source >= net.num_vertices() || sink < 0 ||
+      sink >= net.num_vertices() || source == sink) {
+    throw std::invalid_argument("CapacityScalingMaxflow: bad source/sink");
+  }
+  const auto n = static_cast<std::size_t>(net.num_vertices());
+  visited_mark_.assign(n, 0);
+  parent_arc_.assign(n, kInvalidArc);
+}
+
+Cap CapacityScalingMaxflow::augment_with_threshold(Cap delta) {
+  ++mark_epoch_;
+  queue_.clear();
+  queue_.push_back(source_);
+  visited_mark_[source_] = mark_epoch_;
+  std::size_t qi = 0;
+  bool reached = false;
+  while (qi < queue_.size() && !reached) {
+    const Vertex v = queue_[qi++];
+    ++stats_.dfs_visits;
+    for (ArcId a : net_.out_arcs(v)) {
+      const Vertex w = net_.head(a);
+      if (net_.residual(a) < delta || visited_mark_[w] == mark_epoch_) {
+        continue;
+      }
+      visited_mark_[w] = mark_epoch_;
+      parent_arc_[w] = a;
+      if (w == sink_) {
+        reached = true;
+        break;
+      }
+      queue_.push_back(w);
+    }
+  }
+  if (!reached) return 0;
+  Cap bottleneck = std::numeric_limits<Cap>::max();
+  for (Vertex v = sink_; v != source_;) {
+    bottleneck = std::min(bottleneck, net_.residual(parent_arc_[v]));
+    v = net_.tail(parent_arc_[v]);
+  }
+  for (Vertex v = sink_; v != source_;) {
+    net_.push_on(parent_arc_[v], bottleneck);
+    v = net_.tail(parent_arc_[v]);
+  }
+  ++stats_.augmentations;
+  return bottleneck;
+}
+
+MaxflowResult CapacityScalingMaxflow::solve_from_zero() {
+  net_.clear_flow();
+  stats_.reset();
+  Cap max_cap = 0;
+  for (ArcId a = 0; a < net_.num_arcs(); a += 2) {
+    max_cap = std::max(max_cap, net_.capacity(a));
+  }
+  Cap delta = 1;
+  while (delta * 2 <= max_cap) delta *= 2;
+
+  MaxflowResult result;
+  while (delta >= 1) {
+    while (Cap pushed = augment_with_threshold(delta)) {
+      result.value += pushed;
+    }
+    delta /= 2;
+  }
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace repflow::graph

@@ -1,0 +1,51 @@
+// Flow validity checks, min-cut extraction, and flow decomposition.
+//
+// These back the property tests: every engine's output must satisfy the
+// capacity and conservation constraints (Equation 1 of the paper), and the
+// max-flow value must equal the min-cut capacity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/flow_network.h"
+
+namespace repflow::graph {
+
+/// Outcome of validate_flow; `ok` plus a human-readable reason on failure.
+struct FlowCheck {
+  bool ok = true;
+  std::string reason;
+};
+
+/// Check 0 <= flow <= cap on every forward arc, antisymmetry of the arc
+/// pairs, and conservation at every vertex except source and sink.
+FlowCheck validate_flow(const FlowNetwork& net, Vertex source, Vertex sink);
+
+/// Value of the current flow (net flow into the sink).
+Cap flow_value(const FlowNetwork& net, Vertex sink);
+
+/// An s-t cut as the source-side vertex set plus its capacity.
+struct Cut {
+  std::vector<bool> source_side;
+  Cap capacity = 0;
+  std::vector<ArcId> crossing_arcs;  // forward arcs from S to V\S
+};
+
+/// Extract the canonical min cut of the *current* flow: S = vertices
+/// reachable from `source` in the residual graph.  Only meaningful when the
+/// flow is maximum; validate with max-flow value == cut.capacity.
+Cut residual_min_cut(const FlowNetwork& net, Vertex source);
+
+/// One unit-path of a flow decomposition.
+struct FlowPath {
+  std::vector<ArcId> arcs;  // forward arcs from source to sink
+  Cap amount = 0;
+};
+
+/// Decompose the current (acyclic-usage) flow into s-t paths.  Cycles are
+/// canceled silently; the sum of path amounts equals the flow value.
+std::vector<FlowPath> decompose_paths(FlowNetwork& net, Vertex source,
+                                      Vertex sink);
+
+}  // namespace repflow::graph

@@ -1,0 +1,103 @@
+#include "graph/dimacs.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace repflow::graph {
+
+DimacsInstance read_dimacs(std::istream& in) {
+  DimacsInstance inst;
+  std::string line;
+  std::int64_t declared_vertices = -1;
+  std::int64_t declared_arcs = -1;
+  std::int64_t seen_arcs = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    switch (kind) {
+      case 'c':
+        break;  // comment
+      case 'p': {
+        std::string problem;
+        ls >> problem >> declared_vertices >> declared_arcs;
+        if (!ls || problem != "max" || declared_vertices < 2 ||
+            declared_arcs < 0) {
+          throw std::runtime_error("dimacs: bad problem line: " + line);
+        }
+        inst.net.add_vertices(static_cast<Vertex>(declared_vertices));
+        break;
+      }
+      case 'n': {
+        std::int64_t id = 0;
+        char role = 0;
+        ls >> id >> role;
+        if (!ls || id < 1 || id > declared_vertices) {
+          throw std::runtime_error("dimacs: bad node line: " + line);
+        }
+        if (role == 's') {
+          inst.source = static_cast<Vertex>(id - 1);
+        } else if (role == 't') {
+          inst.sink = static_cast<Vertex>(id - 1);
+        } else {
+          throw std::runtime_error("dimacs: bad node role: " + line);
+        }
+        break;
+      }
+      case 'a': {
+        std::int64_t u = 0, v = 0;
+        Cap cap = 0;
+        ls >> u >> v >> cap;
+        if (!ls || u < 1 || v < 1 || u > declared_vertices ||
+            v > declared_vertices || cap < 0) {
+          throw std::runtime_error("dimacs: bad arc line: " + line);
+        }
+        inst.net.add_arc(static_cast<Vertex>(u - 1),
+                         static_cast<Vertex>(v - 1), cap);
+        ++seen_arcs;
+        break;
+      }
+      default:
+        throw std::runtime_error("dimacs: unknown line kind: " + line);
+    }
+  }
+  if (declared_vertices < 0) {
+    throw std::runtime_error("dimacs: missing problem line");
+  }
+  if (inst.source == kInvalidVertex || inst.sink == kInvalidVertex) {
+    throw std::runtime_error("dimacs: missing source or sink designator");
+  }
+  if (seen_arcs != declared_arcs) {
+    throw std::runtime_error("dimacs: arc count mismatch");
+  }
+  return inst;
+}
+
+DimacsInstance read_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, const FlowNetwork& net, Vertex source,
+                  Vertex sink, const std::string& comment) {
+  if (!comment.empty()) out << "c " << comment << "\n";
+  out << "p max " << net.num_vertices() << " " << net.num_edges() << "\n";
+  out << "n " << (source + 1) << " s\n";
+  out << "n " << (sink + 1) << " t\n";
+  for (ArcId a = 0; a < net.num_arcs(); a += 2) {
+    out << "a " << (net.tail(a) + 1) << " " << (net.head(a) + 1) << " "
+        << net.capacity(a) << "\n";
+  }
+}
+
+std::string write_dimacs_string(const FlowNetwork& net, Vertex source,
+                                Vertex sink, const std::string& comment) {
+  std::ostringstream os;
+  write_dimacs(os, net, source, sink, comment);
+  return os.str();
+}
+
+}  // namespace repflow::graph

@@ -1,0 +1,31 @@
+// DIMACS max-flow format I/O.
+//
+// Lets the micro benches and tests exchange instances with standard max-flow
+// tools (format: `p max N M`, `n X s|t`, `a U V CAP`, 1-based vertices).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/flow_network.h"
+
+namespace repflow::graph {
+
+struct DimacsInstance {
+  FlowNetwork net;
+  Vertex source = kInvalidVertex;
+  Vertex sink = kInvalidVertex;
+};
+
+/// Parse a DIMACS max-flow instance; throws std::runtime_error on malformed
+/// input (missing problem line, bad arc endpoints, missing s/t designators).
+DimacsInstance read_dimacs(std::istream& in);
+DimacsInstance read_dimacs_string(const std::string& text);
+
+/// Serialize the network's arcs and s/t designators in DIMACS format.
+void write_dimacs(std::ostream& out, const FlowNetwork& net, Vertex source,
+                  Vertex sink, const std::string& comment = {});
+std::string write_dimacs_string(const FlowNetwork& net, Vertex source,
+                                Vertex sink, const std::string& comment = {});
+
+}  // namespace repflow::graph

@@ -1,0 +1,76 @@
+#include "graph/dinic.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace repflow::graph {
+
+Dinic::Dinic(FlowNetwork& net, Vertex source, Vertex sink)
+    : net_(net), source_(source), sink_(sink) {
+  if (source < 0 || source >= net.num_vertices() || sink < 0 ||
+      sink >= net.num_vertices() || source == sink) {
+    throw std::invalid_argument("Dinic: bad source/sink");
+  }
+}
+
+bool Dinic::build_level_graph() {
+  level_.assign(static_cast<std::size_t>(net_.num_vertices()), -1);
+  queue_.clear();
+  queue_.push_back(source_);
+  level_[source_] = 0;
+  std::size_t qi = 0;
+  while (qi < queue_.size()) {
+    const Vertex v = queue_[qi++];
+    ++stats_.dfs_visits;
+    for (ArcId a : net_.out_arcs(v)) {
+      const Vertex w = net_.head(a);
+      if (net_.residual(a) > 0 && level_[w] < 0) {
+        level_[w] = level_[v] + 1;
+        queue_.push_back(w);
+      }
+    }
+  }
+  return level_[sink_] >= 0;
+}
+
+Cap Dinic::blocking_dfs(Vertex v, Cap limit) {
+  if (v == sink_) return limit;
+  auto arcs = net_.out_arcs(v);
+  for (std::size_t& i = arc_cursor_[v]; i < arcs.size(); ++i) {
+    const ArcId a = arcs[i];
+    const Vertex w = net_.head(a);
+    if (net_.residual(a) <= 0 || level_[w] != level_[v] + 1) continue;
+    const Cap pushed =
+        blocking_dfs(w, std::min(limit, net_.residual(a)));
+    if (pushed > 0) {
+      net_.push_on(a, pushed);
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+Cap Dinic::run() {
+  Cap total = 0;
+  while (build_level_graph()) {
+    arc_cursor_.assign(static_cast<std::size_t>(net_.num_vertices()), 0);
+    while (Cap pushed =
+               blocking_dfs(source_, std::numeric_limits<Cap>::max())) {
+      total += pushed;
+      ++stats_.augmentations;
+    }
+  }
+  return total;
+}
+
+MaxflowResult Dinic::solve_from_zero() {
+  net_.clear_flow();
+  stats_.reset();
+  MaxflowResult result;
+  result.value = run();
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace repflow::graph

@@ -1,0 +1,39 @@
+// Dinic's blocking-flow max-flow algorithm.
+//
+// Not part of the paper's algorithm suite; included as an additional
+// black-box engine for the ablation benchmarks (the paper cites blocking
+// flow methods [22], [33] as the classical alternative family).
+#pragma once
+
+#include <vector>
+
+#include "graph/maxflow.h"
+
+namespace repflow::graph {
+
+class Dinic {
+ public:
+  Dinic(FlowNetwork& net, Vertex source, Vertex sink);
+
+  /// Run from the network's current flow state; returns flow added.
+  Cap run();
+
+  /// clear_flow() + run().
+  MaxflowResult solve_from_zero();
+
+  const FlowStats& stats() const { return stats_; }
+
+ private:
+  bool build_level_graph();
+  Cap blocking_dfs(Vertex v, Cap limit);
+
+  FlowNetwork& net_;
+  Vertex source_;
+  Vertex sink_;
+  FlowStats stats_;
+  std::vector<std::int32_t> level_;
+  std::vector<std::size_t> arc_cursor_;
+  std::vector<Vertex> queue_;
+};
+
+}  // namespace repflow::graph

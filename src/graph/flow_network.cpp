@@ -1,0 +1,95 @@
+#include "graph/flow_network.h"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace repflow::graph {
+
+Vertex FlowNetwork::add_vertex() {
+  first_out_.emplace_back();
+  return static_cast<Vertex>(first_out_.size() - 1);
+}
+
+void FlowNetwork::add_vertices(Vertex count) {
+  if (count < 0) throw std::invalid_argument("add_vertices: negative count");
+  first_out_.resize(first_out_.size() + static_cast<std::size_t>(count));
+}
+
+ArcId FlowNetwork::add_arc(Vertex tail, Vertex head, Cap cap) {
+  if (tail < 0 || tail >= num_vertices() || head < 0 ||
+      head >= num_vertices()) {
+    throw std::out_of_range("add_arc: vertex out of range");
+  }
+  if (cap < 0) throw std::invalid_argument("add_arc: negative capacity");
+  const ArcId forward = static_cast<ArcId>(head_.size());
+  head_.push_back(head);
+  cap_.push_back(cap);
+  flow_.push_back(0);
+  head_.push_back(tail);
+  cap_.push_back(0);
+  flow_.push_back(0);
+  first_out_[tail].push_back(forward);
+  first_out_[head].push_back(forward + 1);
+  return forward;
+}
+
+void FlowNetwork::push_on(ArcId a, Cap delta) {
+  assert(residual(a) >= delta && "push exceeds residual capacity");
+  flow_[a] += delta;
+  flow_[a ^ 1] -= delta;
+}
+
+void FlowNetwork::set_pair_flow(ArcId forward_arc, Cap f) {
+  assert(is_forward(forward_arc));
+  flow_[forward_arc] = f;
+  flow_[forward_arc ^ 1] = -f;
+}
+
+void FlowNetwork::clear_flow() {
+  for (auto& f : flow_) f = 0;
+}
+
+std::vector<Cap> FlowNetwork::save_flows() const {
+  std::vector<Cap> snapshot(static_cast<std::size_t>(num_edges()));
+  for (ArcId e = 0; e < num_edges(); ++e) snapshot[e] = flow_[2 * e];
+  return snapshot;
+}
+
+void FlowNetwork::restore_flows(const std::vector<Cap>& snapshot) {
+  if (snapshot.size() != static_cast<std::size_t>(num_edges())) {
+    throw std::invalid_argument("restore_flows: snapshot size mismatch");
+  }
+  for (ArcId e = 0; e < num_edges(); ++e) {
+    flow_[2 * e] = snapshot[e];
+    flow_[2 * e + 1] = -snapshot[e];
+  }
+}
+
+Cap FlowNetwork::flow_into(Vertex t) const {
+  Cap total = 0;
+  for (ArcId a : out_arcs(t)) {
+    // Out-arc `a` of t carries t's outgoing flow; flow INTO t on the paired
+    // arc is -flow(a).
+    total -= flow_[a];
+  }
+  return total;
+}
+
+Cap FlowNetwork::net_out_flow(Vertex v) const {
+  Cap total = 0;
+  for (ArcId a : out_arcs(v)) total += flow_[a];
+  return total;
+}
+
+std::string FlowNetwork::to_string() const {
+  std::ostringstream os;
+  os << "FlowNetwork{V=" << num_vertices() << ", E=" << num_edges() << "}\n";
+  for (ArcId a = 0; a < num_arcs(); a += 2) {
+    os << "  " << tail(a) << " -> " << head(a) << "  cap=" << cap_[a]
+       << " flow=" << flow_[a] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace repflow::graph

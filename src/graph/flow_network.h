@@ -1,0 +1,99 @@
+// Directed flow network with residual-arc representation.
+//
+// This is the repository's replacement for the LEDA graph container used by
+// the paper.  Arcs are stored in forward/reverse pairs: arc 2k is the forward
+// arc with its declared capacity, arc 2k+1 is its reverse with capacity 0.
+// Pushing f units on arc a adds f to flow[a] and subtracts f from
+// flow[a ^ 1], so residual capacities of both directions stay consistent and
+// "reversing an edge" (Algorithm 1/2 of the paper) is simply pushing on the
+// reverse arc.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace repflow::graph {
+
+using Vertex = std::int32_t;
+using ArcId = std::int32_t;
+using Cap = std::int64_t;
+
+constexpr Vertex kInvalidVertex = -1;
+constexpr ArcId kInvalidArc = -1;
+
+/// Mutable flow network.  Vertices are dense integers [0, num_vertices()).
+class FlowNetwork {
+ public:
+  FlowNetwork() = default;
+  explicit FlowNetwork(Vertex initial_vertices) {
+    add_vertices(initial_vertices);
+  }
+
+  Vertex add_vertex();
+  void add_vertices(Vertex count);
+
+  /// Create the forward/reverse arc pair (tail -> head) with capacity `cap`.
+  /// Returns the forward arc id (always even); the reverse id is `id + 1`.
+  ArcId add_arc(Vertex tail, Vertex head, Cap cap);
+
+  Vertex num_vertices() const { return static_cast<Vertex>(first_out_.size()); }
+  /// Number of *directed arc slots*, i.e. 2x the number of added edges.
+  ArcId num_arcs() const { return static_cast<ArcId>(head_.size()); }
+  /// Number of logical (forward) edges.
+  ArcId num_edges() const { return num_arcs() / 2; }
+
+  Vertex head(ArcId a) const { return head_[a]; }
+  Vertex tail(ArcId a) const { return head_[a ^ 1]; }
+  ArcId reverse(ArcId a) const { return a ^ 1; }
+  bool is_forward(ArcId a) const { return (a & 1) == 0; }
+
+  Cap capacity(ArcId a) const { return cap_[a]; }
+  Cap flow(ArcId a) const { return flow_[a]; }
+  Cap residual(ArcId a) const { return cap_[a] - flow_[a]; }
+
+  /// Replace the capacity of one directed arc (used by the retrieval
+  /// algorithms to retune sink-edge capacities between max-flow runs).
+  void set_capacity(ArcId a, Cap cap) { cap_[a] = cap; }
+
+  /// Push `delta` units along arc `a` (and implicitly -delta on reverse).
+  /// Callers must respect residual(a) >= delta; checked in debug builds.
+  void push_on(ArcId a, Cap delta);
+
+  /// Overwrite the flow of a forward arc and its reverse pair directly.
+  /// Used when restoring a saved flow snapshot.
+  void set_pair_flow(ArcId forward_arc, Cap f);
+
+  /// Zero all flows.
+  void clear_flow();
+
+  /// Arc ids leaving `v` (both forward and reverse slots).
+  std::span<const ArcId> out_arcs(Vertex v) const {
+    return {first_out_[v].data(), first_out_[v].size()};
+  }
+  std::int32_t out_degree(Vertex v) const {
+    return static_cast<std::int32_t>(first_out_[v].size());
+  }
+
+  /// Flow snapshots: forward-arc flows only (reverse flows are derived).
+  std::vector<Cap> save_flows() const;
+  void restore_flows(const std::vector<Cap>& snapshot);
+
+  /// Sum of flow on arcs entering `t` (the |f| of Equation 2 in the paper).
+  Cap flow_into(Vertex t) const;
+
+  /// Net out-flow of a vertex (0 for all conserved vertices of a flow).
+  Cap net_out_flow(Vertex v) const;
+
+  /// Human-readable dump for debugging and golden tests.
+  std::string to_string() const;
+
+ private:
+  std::vector<Vertex> head_;           // per arc slot
+  std::vector<Cap> cap_;               // per arc slot
+  std::vector<Cap> flow_;              // per arc slot
+  std::vector<std::vector<ArcId>> first_out_;  // adjacency (arc ids)
+};
+
+}  // namespace repflow::graph

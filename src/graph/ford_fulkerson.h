@@ -1,0 +1,57 @@
+// Ford-Fulkerson augmenting-path max-flow (DFS and BFS searches).
+//
+// Besides the classic "run to max flow" entry point, this engine exposes a
+// single-augmentation primitive so the paper's integrated Algorithms 1 and 2
+// can interleave capacity incrementation with per-bucket augmentations.
+#pragma once
+
+#include <vector>
+
+#include "graph/maxflow.h"
+
+namespace repflow::graph {
+
+enum class SearchOrder {
+  kDfs,  // depth-first (the paper's DFS(G, v, t, ...) routine)
+  kBfs,  // breadth-first (Edmonds-Karp; shortest augmenting paths)
+};
+
+class FordFulkerson {
+ public:
+  explicit FordFulkerson(FlowNetwork& net, Vertex source, Vertex sink,
+                         SearchOrder order = SearchOrder::kDfs);
+
+  /// Search for one residual path from `from` to the sink and, if found,
+  /// augment by the path bottleneck.  Returns the pushed amount (0 if no
+  /// path).  `from` defaults to the source.
+  Cap augment_once(Vertex from = kInvalidVertex);
+
+  /// Augment until no residual s-t path remains; returns total pushed in
+  /// this call (flow already on the network is untouched and conserved).
+  Cap run();
+
+  /// clear_flow() + run(): the classical black-box interface.
+  MaxflowResult solve_from_zero();
+
+  const FlowStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+ private:
+  Cap dfs_augment(Vertex from);
+  Cap bfs_augment(Vertex from);
+
+  FlowNetwork& net_;
+  Vertex source_;
+  Vertex sink_;
+  SearchOrder order_;
+  FlowStats stats_;
+  // Scratch reused across augmentations to avoid per-call allocation.
+  std::vector<std::uint32_t> visited_mark_;
+  std::uint32_t mark_epoch_ = 0;
+  std::vector<ArcId> parent_arc_;
+  std::vector<Vertex> queue_;
+  std::vector<ArcId> dfs_path_;
+  std::vector<std::size_t> dfs_arc_index_;
+};
+
+}  // namespace repflow::graph

@@ -1,0 +1,95 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repflow::graph {
+
+GeneratedNetwork random_bipartite(std::int32_t left, std::int32_t right,
+                                  std::int32_t degree, Cap sink_cap,
+                                  Rng& rng) {
+  if (left <= 0 || right <= 0 || degree <= 0 || degree > right) {
+    throw std::invalid_argument("random_bipartite: bad shape");
+  }
+  GeneratedNetwork g;
+  g.net.add_vertices(left + right + 2);
+  g.source = left + right;
+  g.sink = left + right + 1;
+  for (std::int32_t b = 0; b < left; ++b) {
+    g.net.add_arc(g.source, b, 1);
+    auto targets = rng.sample_without_replacement(
+        static_cast<std::uint32_t>(right), static_cast<std::uint32_t>(degree));
+    for (std::uint32_t r : targets) {
+      g.net.add_arc(b, left + static_cast<Vertex>(r), 1);
+    }
+  }
+  for (std::int32_t d = 0; d < right; ++d) {
+    g.net.add_arc(left + d, g.sink, sink_cap);
+  }
+  return g;
+}
+
+GeneratedNetwork random_general(std::int32_t n, std::int32_t m, Cap max_cap,
+                                Rng& rng) {
+  if (n < 2 || m < 0 || max_cap < 1) {
+    throw std::invalid_argument("random_general: bad shape");
+  }
+  GeneratedNetwork g;
+  g.net.add_vertices(n);
+  g.source = 0;
+  g.sink = n - 1;
+  // Backbone guaranteeing connectivity from s to t.
+  for (Vertex v = 0; v + 1 < n; ++v) {
+    g.net.add_arc(v, v + 1, 1 + static_cast<Cap>(rng.below(
+                                    static_cast<std::uint64_t>(max_cap))));
+  }
+  for (std::int32_t i = 0; i < m; ++i) {
+    const auto u = static_cast<Vertex>(rng.below(static_cast<std::uint64_t>(n)));
+    auto v = static_cast<Vertex>(rng.below(static_cast<std::uint64_t>(n)));
+    if (u == v) v = (v + 1) % n;
+    g.net.add_arc(u, v, 1 + static_cast<Cap>(rng.below(
+                                static_cast<std::uint64_t>(max_cap))));
+  }
+  return g;
+}
+
+GeneratedNetwork layered_network(std::int32_t layers, std::int32_t width,
+                                 Cap max_cap, Rng& rng) {
+  if (layers < 1 || width < 1 || max_cap < 1) {
+    throw std::invalid_argument("layered_network: bad shape");
+  }
+  GeneratedNetwork g;
+  const Vertex body = layers * width;
+  g.net.add_vertices(body + 2);
+  g.source = body;
+  g.sink = body + 1;
+  auto vertex_at = [&](std::int32_t layer, std::int32_t i) {
+    return static_cast<Vertex>(layer * width + i);
+  };
+  for (std::int32_t i = 0; i < width; ++i) {
+    g.net.add_arc(g.source, vertex_at(0, i),
+                  1 + static_cast<Cap>(
+                          rng.below(static_cast<std::uint64_t>(max_cap))));
+    g.net.add_arc(vertex_at(layers - 1, i), g.sink,
+                  1 + static_cast<Cap>(
+                          rng.below(static_cast<std::uint64_t>(max_cap))));
+  }
+  for (std::int32_t layer = 0; layer + 1 < layers; ++layer) {
+    for (std::int32_t i = 0; i < width; ++i) {
+      // Each vertex links to ~3 vertices of the next layer.
+      const std::int32_t fanout = std::min<std::int32_t>(3, width);
+      auto targets = rng.sample_without_replacement(
+          static_cast<std::uint32_t>(width),
+          static_cast<std::uint32_t>(fanout));
+      for (std::uint32_t j : targets) {
+        g.net.add_arc(vertex_at(layer, i),
+                      vertex_at(layer + 1, static_cast<std::int32_t>(j)),
+                      1 + static_cast<Cap>(rng.below(
+                              static_cast<std::uint64_t>(max_cap))));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace repflow::graph

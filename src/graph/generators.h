@@ -1,0 +1,35 @@
+// Random flow-network generators for tests and micro-benchmarks.
+#pragma once
+
+#include "graph/flow_network.h"
+#include "support/rng.h"
+
+namespace repflow::graph {
+
+/// A generated instance together with its distinguished vertices.
+struct GeneratedNetwork {
+  FlowNetwork net;
+  Vertex source = kInvalidVertex;
+  Vertex sink = kInvalidVertex;
+};
+
+/// Bipartite retrieval-shaped network: s -> `left` unit arcs, each left
+/// vertex connected to `degree` random right vertices (unit arcs), right
+/// vertices -> t with capacity `sink_cap`.  This is the exact shape of the
+/// paper's retrieval networks.
+GeneratedNetwork random_bipartite(std::int32_t left, std::int32_t right,
+                                  std::int32_t degree, Cap sink_cap, Rng& rng);
+
+/// General random network: n vertices, m random arcs with capacities in
+/// [1, max_cap]; vertex 0 is the source, n-1 the sink.  A Hamiltonian-ish
+/// backbone guarantees s-t connectivity.
+GeneratedNetwork random_general(std::int32_t n, std::int32_t m, Cap max_cap,
+                                Rng& rng);
+
+/// Layered DAG: `layers` layers of `width` vertices, dense random arcs
+/// between consecutive layers.  Classic worst-ish case for augmenting-path
+/// methods, good case for push-relabel.
+GeneratedNetwork layered_network(std::int32_t layers, std::int32_t width,
+                                 Cap max_cap, Rng& rng);
+
+}  // namespace repflow::graph

@@ -1,0 +1,104 @@
+#include "graph/min_cost_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace repflow::graph {
+
+namespace {
+constexpr Cost kInf = std::numeric_limits<Cost>::infinity();
+// Dijkstra over doubles: tolerate tiny negative reduced costs from
+// floating-point noise.
+constexpr Cost kEps = 1e-9;
+}  // namespace
+
+MinCostMaxflow::MinCostMaxflow(FlowNetwork& net, Vertex source, Vertex sink,
+                               std::vector<Cost> arc_cost)
+    : net_(net), source_(source), sink_(sink), cost_(std::move(arc_cost)) {
+  if (source < 0 || source >= net.num_vertices() || sink < 0 ||
+      sink >= net.num_vertices() || source == sink) {
+    throw std::invalid_argument("MinCostMaxflow: bad source/sink");
+  }
+  if (cost_.size() != static_cast<std::size_t>(net.num_edges())) {
+    throw std::invalid_argument("MinCostMaxflow: cost vector size mismatch");
+  }
+}
+
+bool MinCostMaxflow::dijkstra() {
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  dist_.assign(n, kInf);
+  parent_arc_.assign(n, kInvalidArc);
+  using Entry = std::pair<Cost, Vertex>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist_[source_] = 0.0;
+  heap.emplace(0.0, source_);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist_[v] + kEps) continue;
+    ++stats_.dfs_visits;
+    for (ArcId a : net_.out_arcs(v)) {
+      if (net_.residual(a) <= 0) continue;
+      const Vertex w = net_.head(a);
+      const Cost nd = dist_[v] + std::max<Cost>(0.0, reduced_cost(a));
+      if (nd + kEps < dist_[w]) {
+        dist_[w] = nd;
+        parent_arc_[w] = a;
+        heap.emplace(nd, w);
+      }
+    }
+  }
+  return dist_[sink_] < kInf;
+}
+
+MinCostMaxflow::Result MinCostMaxflow::solve_from_zero() {
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  net_.clear_flow();
+  stats_.reset();
+  Result result;
+
+  // Bellman-Ford to initialize potentials (costs may be any sign on the
+  // original arcs; our retrieval use has non-negative costs, but the
+  // engine stays general).
+  potential_.assign(n, 0.0);
+  for (std::size_t round = 0; round + 1 < n; ++round) {
+    bool changed = false;
+    for (ArcId a = 0; a < net_.num_arcs(); ++a) {
+      if (net_.residual(a) <= 0) continue;
+      const Cost candidate = potential_[net_.tail(a)] + arc_cost(a);
+      if (candidate + kEps < potential_[net_.head(a)]) {
+        potential_[net_.head(a)] = candidate;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  while (dijkstra()) {
+    // Update potentials with the found distances (only for reached nodes).
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist_[v] < kInf) potential_[v] += dist_[v];
+    }
+    // Augment along the shortest path.
+    Cap bottleneck = std::numeric_limits<Cap>::max();
+    for (Vertex v = sink_; v != source_;) {
+      const ArcId a = parent_arc_[v];
+      bottleneck = std::min(bottleneck, net_.residual(a));
+      v = net_.tail(a);
+    }
+    for (Vertex v = sink_; v != source_;) {
+      const ArcId a = parent_arc_[v];
+      net_.push_on(a, bottleneck);
+      result.cost += arc_cost(a) * static_cast<Cost>(bottleneck);
+      v = net_.tail(a);
+    }
+    result.flow += bottleneck;
+    ++stats_.augmentations;
+  }
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace repflow::graph

@@ -1,0 +1,58 @@
+// Minimum-cost maximum-flow via successive shortest paths with potentials
+// (Bellman-Ford initialization + Dijkstra iterations).
+//
+// Used by core::solve_min_total_work: among all schedules achieving the
+// optimal response time, pick one minimizing a secondary linear objective
+// (e.g. total disk busy time / energy).  Costs are per unit of flow on the
+// forward arc; reverse arcs carry the negated cost automatically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/flow_network.h"
+#include "graph/maxflow.h"
+
+namespace repflow::graph {
+
+using Cost = double;
+
+class MinCostMaxflow {
+ public:
+  /// `arc_cost[e]` is the per-unit cost of forward edge e (edge index =
+  /// arc id / 2); must cover all net.num_edges() edges.
+  MinCostMaxflow(FlowNetwork& net, Vertex source, Vertex sink,
+                 std::vector<Cost> arc_cost);
+
+  struct Result {
+    Cap flow = 0;
+    Cost cost = 0.0;
+    FlowStats stats;
+  };
+
+  /// clear_flow() + successive shortest augmentations to max flow.
+  Result solve_from_zero();
+
+  const FlowStats& stats() const { return stats_; }
+
+ private:
+  Cost arc_cost(ArcId a) const {
+    const Cost c = cost_[static_cast<std::size_t>(a >> 1)];
+    return (a & 1) ? -c : c;
+  }
+  Cost reduced_cost(ArcId a) const {
+    return arc_cost(a) + potential_[net_.tail(a)] - potential_[net_.head(a)];
+  }
+  bool dijkstra();
+
+  FlowNetwork& net_;
+  Vertex source_;
+  Vertex sink_;
+  std::vector<Cost> cost_;       // per edge (forward arc id / 2)
+  std::vector<Cost> potential_;  // node potentials (Johnson reweighting)
+  std::vector<Cost> dist_;
+  std::vector<ArcId> parent_arc_;
+  FlowStats stats_;
+};
+
+}  // namespace repflow::graph

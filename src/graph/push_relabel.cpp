@@ -1,0 +1,236 @@
+#include "graph/push_relabel.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace repflow::graph {
+
+PushRelabel::PushRelabel(FlowNetwork& net, Vertex source, Vertex sink,
+                         PushRelabelOptions options)
+    : net_(net), source_(source), sink_(sink), options_(options) {
+  if (source < 0 || source >= net.num_vertices() || sink < 0 ||
+      sink >= net.num_vertices() || source == sink) {
+    throw std::invalid_argument("PushRelabel: bad source/sink");
+  }
+  ensure_sizes();
+}
+
+void PushRelabel::ensure_sizes() {
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  if (excess_.size() < n) {
+    excess_.resize(n, 0);
+    height_.resize(n, 0);
+    arc_cursor_.resize(n, 0);
+    in_queue_.resize(n, false);
+    height_count_.assign(2 * n + 2, 0);
+  }
+}
+
+void PushRelabel::enqueue_if_active(Vertex v) {
+  if (v == source_ || v == sink_) return;
+  if (excess_[v] > 0 && !in_queue_[v]) {
+    in_queue_[v] = true;
+    queue_.push_back(v);
+  }
+}
+
+void PushRelabel::saturate_source_arcs() {
+  ensure_sizes();
+  for (ArcId a : net_.out_arcs(source_)) {
+    const Cap delta = net_.residual(a);
+    if (delta <= 0) continue;
+    net_.push_on(a, delta);
+    const Vertex v = net_.head(a);
+    excess_[v] += delta;
+    enqueue_if_active(v);
+  }
+}
+
+void PushRelabel::reinitialize_heights() {
+  ensure_sizes();
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  excess_[source_] = 0;
+  std::fill(arc_cursor_.begin(), arc_cursor_.end(), 0);
+  if (options_.height_init == HeightInit::kZero) {
+    std::fill(height_.begin(), height_.end(), 0);
+    height_[source_] = static_cast<std::int32_t>(n);
+    std::fill(height_count_.begin(), height_count_.end(), 0);
+    height_count_[0] = static_cast<std::int32_t>(n - 1);
+    height_count_[n] = 1;
+  } else {
+    global_relabel();
+  }
+  relabels_since_global_ = 0;
+}
+
+void PushRelabel::global_relabel() {
+  ++stats_.global_relabels;
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  constexpr std::int32_t kUnset = -1;
+  std::fill(height_.begin(), height_.end(), kUnset);
+  // Backward BFS from the sink over residual arcs: w can reach v along
+  // (w -> v) iff residual(reverse(out-arc of v pointing at w)) > 0.
+  auto backward_bfs = [&](Vertex root, std::int32_t base) {
+    height_[root] = base;
+    bfs_scratch_.clear();
+    bfs_scratch_.push_back(root);
+    std::size_t qi = 0;
+    while (qi < bfs_scratch_.size()) {
+      const Vertex v = bfs_scratch_[qi++];
+      for (ArcId a : net_.out_arcs(v)) {
+        const Vertex w = net_.head(a);
+        if (height_[w] != kUnset) continue;
+        if (net_.residual(net_.reverse(a)) <= 0) continue;
+        height_[w] = height_[v] + 1;
+        bfs_scratch_.push_back(w);
+      }
+    }
+  };
+  backward_bfs(sink_, 0);
+  const auto height_s = static_cast<std::int32_t>(n);
+  if (height_[source_] == kUnset) height_[source_] = height_s;
+  // Vertices cut off from the sink route their excess back to the source.
+  backward_bfs(source_, height_s);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (height_[v] == kUnset) {
+      // Isolated from both s and t in the residual graph; such a vertex can
+      // never be active, park it at the ceiling.
+      height_[v] = static_cast<std::int32_t>(2 * n);
+    }
+  }
+  height_[source_] = height_s;  // BFS from source must not lower it
+  std::fill(height_count_.begin(), height_count_.end(), 0);
+  for (std::size_t v = 0; v < n; ++v) ++height_count_[height_[v]];
+  std::fill(arc_cursor_.begin(), arc_cursor_.end(), 0);
+  relabels_since_global_ = 0;
+}
+
+void PushRelabel::relabel(Vertex v) {
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  std::int32_t min_height = std::numeric_limits<std::int32_t>::max();
+  for (ArcId a : net_.out_arcs(v)) {
+    if (net_.residual(a) > 0) {
+      min_height = std::min(min_height, height_[net_.head(a)]);
+    }
+  }
+  if (min_height == std::numeric_limits<std::int32_t>::max()) {
+    // No residual out-arc at all: park at ceiling (cannot be active again
+    // without receiving flow, which would create a residual reverse arc).
+    min_height = static_cast<std::int32_t>(2 * n) - 1;
+  }
+  const std::int32_t old_height = height_[v];
+  const std::int32_t new_height =
+      std::min(min_height + 1, static_cast<std::int32_t>(2 * n));
+  if (new_height <= old_height) {
+    // An admissible arc appeared behind the cursor (created by an incoming
+    // push after the cursor passed it).  Rescan instead of lifting.
+    arc_cursor_[v] = 0;
+    return;
+  }
+  --height_count_[old_height];
+  height_[v] = new_height;
+  ++height_count_[new_height];
+  arc_cursor_[v] = 0;
+  ++stats_.relabels;
+  ++relabels_since_global_;
+  if (options_.use_gap_heuristic && height_count_[old_height] == 0 &&
+      old_height < static_cast<std::int32_t>(n)) {
+    apply_gap(old_height);
+  }
+}
+
+void PushRelabel::apply_gap(std::int32_t emptied_height) {
+  // Any vertex with emptied_height < h < n can no longer reach the sink;
+  // lift it above n so its excess heads back to the source directly.
+  const auto n = static_cast<std::int32_t>(net_.num_vertices());
+  for (Vertex v = 0; v < n; ++v) {
+    if (v == source_ || v == sink_) continue;
+    if (height_[v] > emptied_height && height_[v] < n) {
+      --height_count_[height_[v]];
+      height_[v] = n + 1;
+      ++height_count_[height_[v]];
+      arc_cursor_[v] = 0;
+      ++stats_.gap_jumps;
+    }
+  }
+}
+
+void PushRelabel::discharge(Vertex v) {
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  auto arcs = net_.out_arcs(v);
+  while (excess_[v] > 0) {
+    if (arc_cursor_[v] >= arcs.size()) {
+      relabel(v);
+      if (height_[v] >= static_cast<std::int32_t>(2 * n)) {
+        break;  // at the ceiling with no residual out-arc; cannot be active
+      }
+      continue;  // relabel reset the cursor; rescan for admissible arcs
+    }
+    const ArcId a = arcs[arc_cursor_[v]];
+    const Vertex w = net_.head(a);
+    if (net_.residual(a) > 0 && height_[v] == height_[w] + 1) {
+      const Cap delta = std::min(excess_[v], net_.residual(a));
+      net_.push_on(a, delta);
+      excess_[v] -= delta;
+      excess_[w] += delta;
+      ++stats_.pushes;
+      enqueue_if_active(w);
+      if (net_.residual(a) == 0) ++arc_cursor_[v];
+    } else {
+      ++arc_cursor_[v];
+    }
+  }
+}
+
+Cap PushRelabel::run() {
+  ensure_sizes();
+  const auto n = static_cast<std::uint64_t>(net_.num_vertices());
+  const std::uint64_t global_interval =
+      options_.global_relabel_interval_factor == 0
+          ? 0
+          : options_.global_relabel_interval_factor * n;
+  while (!queue_.empty()) {
+    if (global_interval != 0 && relabels_since_global_ >= global_interval) {
+      global_relabel();
+    }
+    const Vertex v = queue_.front();
+    queue_.pop_front();
+    in_queue_[v] = false;
+    discharge(v);
+    // A discharge interrupted by the ceiling guard may leave excess; requeue
+    // would spin, so assert-quietly: such a vertex has no residual out-arc
+    // and can only become pushable again after receiving flow, which
+    // re-enqueues it via enqueue_if_active.
+  }
+  return excess_[sink_];
+}
+
+Cap PushRelabel::resume() {
+  saturate_source_arcs();
+  reinitialize_heights();
+  return run();
+}
+
+MaxflowResult PushRelabel::solve_from_zero() {
+  ensure_sizes();
+  net_.clear_flow();
+  std::fill(excess_.begin(), excess_.end(), 0);
+  std::fill(in_queue_.begin(), in_queue_.end(), false);
+  queue_.clear();
+  reset_stats();
+  MaxflowResult result;
+  result.value = resume();
+  result.stats = stats_;
+  return result;
+}
+
+void PushRelabel::reset_excess_after_restore(Cap sink_excess) {
+  ensure_sizes();
+  std::fill(excess_.begin(), excess_.end(), 0);
+  excess_[sink_] = sink_excess;
+  std::fill(in_queue_.begin(), in_queue_.end(), false);
+  queue_.clear();
+}
+
+}  // namespace repflow::graph

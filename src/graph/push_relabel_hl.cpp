@@ -1,0 +1,181 @@
+#include "graph/push_relabel_hl.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace repflow::graph {
+
+HighestLabelPushRelabel::HighestLabelPushRelabel(FlowNetwork& net,
+                                                 Vertex source, Vertex sink)
+    : net_(net), source_(source), sink_(sink) {
+  if (source < 0 || source >= net.num_vertices() || sink < 0 ||
+      sink >= net.num_vertices() || source == sink) {
+    throw std::invalid_argument("HighestLabelPushRelabel: bad source/sink");
+  }
+}
+
+void HighestLabelPushRelabel::enqueue(Vertex v) {
+  if (v == source_ || v == sink_ || excess_[v] <= 0 || in_bucket_[v]) return;
+  const std::int32_t h = height_[v];
+  if (h >= static_cast<std::int32_t>(active_at_.size())) return;
+  active_at_[h].push_back(v);
+  in_bucket_[v] = true;
+  highest_active_ = std::max(highest_active_, h);
+}
+
+void HighestLabelPushRelabel::global_relabel() {
+  ++stats_.global_relabels;
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  constexpr std::int32_t kUnset = -1;
+  std::vector<std::int32_t> h(n, kUnset);
+  std::vector<Vertex> queue;
+  auto backward_bfs = [&](Vertex root, std::int32_t base) {
+    h[root] = base;
+    queue.clear();
+    queue.push_back(root);
+    std::size_t qi = 0;
+    while (qi < queue.size()) {
+      const Vertex v = queue[qi++];
+      for (ArcId a : net_.out_arcs(v)) {
+        const Vertex w = net_.head(a);
+        if (h[w] != kUnset || net_.residual(net_.reverse(a)) <= 0) continue;
+        h[w] = h[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  };
+  backward_bfs(sink_, 0);
+  const auto hs = static_cast<std::int32_t>(n);
+  if (h[source_] == kUnset) h[source_] = hs;
+  backward_bfs(source_, hs);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (h[v] == kUnset) h[v] = static_cast<std::int32_t>(2 * n);
+  }
+  h[source_] = hs;
+  std::fill(height_count_.begin(), height_count_.end(), 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    height_[v] = h[v];
+    ++height_count_[h[v]];
+  }
+  std::fill(arc_cursor_.begin(), arc_cursor_.end(), 0);
+  // Rebuild the active buckets from scratch.
+  for (auto& bucket : active_at_) bucket.clear();
+  std::fill(in_bucket_.begin(), in_bucket_.end(), false);
+  highest_active_ = -1;
+  for (Vertex v = 0; v < net_.num_vertices(); ++v) enqueue(v);
+  relabels_since_global_ = 0;
+}
+
+void HighestLabelPushRelabel::discharge(Vertex v) {
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  auto arcs = net_.out_arcs(v);
+  while (excess_[v] > 0) {
+    if (arc_cursor_[v] >= arcs.size()) {
+      // Relabel.
+      std::int32_t min_height = std::numeric_limits<std::int32_t>::max();
+      for (ArcId a : arcs) {
+        if (net_.residual(a) > 0) {
+          min_height = std::min(min_height, height_[net_.head(a)]);
+        }
+      }
+      if (min_height == std::numeric_limits<std::int32_t>::max()) {
+        min_height = static_cast<std::int32_t>(2 * n) - 1;
+      }
+      const std::int32_t old_height = height_[v];
+      const std::int32_t new_height =
+          std::min(min_height + 1, static_cast<std::int32_t>(2 * n));
+      arc_cursor_[v] = 0;
+      if (new_height <= old_height) continue;  // admissible arc reappeared
+      --height_count_[old_height];
+      height_[v] = new_height;
+      ++height_count_[new_height];
+      ++stats_.relabels;
+      ++relabels_since_global_;
+      // Gap heuristic.
+      if (height_count_[old_height] == 0 &&
+          old_height < static_cast<std::int32_t>(n)) {
+        for (Vertex w = 0; w < net_.num_vertices(); ++w) {
+          if (w == source_ || w == sink_) continue;
+          if (height_[w] > old_height &&
+              height_[w] < static_cast<std::int32_t>(n)) {
+            --height_count_[height_[w]];
+            height_[w] = static_cast<std::int32_t>(n) + 1;
+            ++height_count_[height_[w]];
+            arc_cursor_[w] = 0;
+            ++stats_.gap_jumps;
+          }
+        }
+      }
+      if (height_[v] >= static_cast<std::int32_t>(2 * n)) return;
+      continue;
+    }
+    const ArcId a = arcs[arc_cursor_[v]];
+    const Vertex w = net_.head(a);
+    if (net_.residual(a) > 0 && height_[v] == height_[w] + 1) {
+      const Cap delta = std::min(excess_[v], net_.residual(a));
+      net_.push_on(a, delta);
+      excess_[v] -= delta;
+      excess_[w] += delta;
+      ++stats_.pushes;
+      enqueue(w);
+      if (net_.residual(a) == 0) ++arc_cursor_[v];
+    } else {
+      ++arc_cursor_[v];
+    }
+  }
+}
+
+MaxflowResult HighestLabelPushRelabel::solve_from_zero() {
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  net_.clear_flow();
+  stats_.reset();
+  excess_.assign(n, 0);
+  height_.assign(n, 0);
+  arc_cursor_.assign(n, 0);
+  height_count_.assign(2 * n + 2, 0);
+  active_at_.assign(2 * n + 2, {});
+  in_bucket_.assign(n, false);
+  highest_active_ = -1;
+
+  for (ArcId a : net_.out_arcs(source_)) {
+    const Cap delta = net_.residual(a);
+    if (delta <= 0) continue;
+    net_.push_on(a, delta);
+    excess_[net_.head(a)] += delta;
+  }
+  global_relabel();
+
+  const std::uint64_t global_interval = n;
+  while (highest_active_ >= 0) {
+    auto& bucket = active_at_[highest_active_];
+    if (bucket.empty()) {
+      --highest_active_;
+      continue;
+    }
+    const Vertex v = bucket.back();
+    bucket.pop_back();
+    in_bucket_[v] = false;
+    if (excess_[v] <= 0) continue;
+    if (relabels_since_global_ >= global_interval) {
+      // Re-enqueue v (heights are about to change) and rebuild.
+      enqueue(v);
+      global_relabel();
+      continue;
+    }
+    discharge(v);
+    // Discharge may have raised v's height; if it still has excess it was
+    // parked at the ceiling, otherwise nothing to do.  Vertices that
+    // received flow were enqueued at their (possibly stale) height; stale
+    // entries are skipped by the excess check above and re-enqueued at the
+    // right height by enqueue() calls after pushes.
+    enqueue(v);
+  }
+
+  MaxflowResult result;
+  result.value = excess_[sink_];
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace repflow::graph

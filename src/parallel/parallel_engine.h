@@ -1,0 +1,33 @@
+// Adapter exposing ParallelPushRelabel through the IntegratedEngine
+// interface, so Algorithm 6's driver runs unchanged with the multithreaded
+// engine (the paper's Section V modifies only line 29).
+#pragma once
+
+#include <memory>
+
+#include "core/engine.h"
+#include "core/push_relabel_binary.h"
+#include "parallel/parallel_push_relabel.h"
+
+namespace repflow::parallel {
+
+class ParallelEngine final : public core::IntegratedEngine {
+ public:
+  ParallelEngine(graph::FlowNetwork& net, graph::Vertex source,
+                 graph::Vertex sink, int threads)
+      : solver_(net, source, sink, threads) {}
+
+  graph::Cap resume() override { return solver_.resume(); }
+  void reset_excess_after_restore(graph::Cap sink_excess) override {
+    solver_.reset_excess_after_restore(sink_excess);
+  }
+  const graph::FlowStats& stats() const override { return solver_.stats(); }
+
+ private:
+  ParallelPushRelabel solver_;
+};
+
+/// Engine factory for PushRelabelBinarySolver running `threads` workers.
+core::EngineFactory parallel_engine_factory(int threads);
+
+}  // namespace repflow::parallel

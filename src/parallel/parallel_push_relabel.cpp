@@ -1,0 +1,422 @@
+#include "parallel/parallel_push_relabel.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+namespace repflow::parallel {
+
+using graph::ArcId;
+using graph::Cap;
+using graph::Vertex;
+
+namespace {
+// Index of the current worker thread; routes operation counters to the
+// thread's private slot so the hot path stays write-contention free.
+thread_local int t_worker_index = 0;
+}  // namespace
+
+ParallelPushRelabel::ParallelPushRelabel(graph::FlowNetwork& net,
+                                         Vertex source, Vertex sink,
+                                         int threads)
+    : net_(net), source_(source), sink_(sink), threads_(threads) {
+  if (threads < 1) {
+    throw std::invalid_argument("ParallelPushRelabel: threads < 1");
+  }
+  if (source < 0 || source >= net.num_vertices() || sink < 0 ||
+      sink >= net.num_vertices() || source == sink) {
+    throw std::invalid_argument("ParallelPushRelabel: bad source/sink");
+  }
+  const auto n = static_cast<std::size_t>(net.num_vertices());
+  const auto m = static_cast<std::size_t>(net.num_arcs());
+  adj_offset_.resize(n + 1);
+  adj_arcs_.reserve(m);
+  for (std::size_t v = 0; v < n; ++v) {
+    adj_offset_[v] = static_cast<std::int32_t>(adj_arcs_.size());
+    for (ArcId a : net.out_arcs(static_cast<Vertex>(v))) {
+      adj_arcs_.push_back(a);
+    }
+  }
+  adj_offset_[n] = static_cast<std::int32_t>(adj_arcs_.size());
+  arc_head_.resize(m);
+  for (ArcId a = 0; a < static_cast<ArcId>(m); ++a) {
+    arc_head_[a] = net.head(a);
+  }
+  cap_.resize(m);
+  flow_ = std::vector<std::atomic<Cap>>(m);
+  excess_ = std::vector<std::atomic<Cap>>(n);
+  height_ = std::vector<std::atomic<std::int32_t>>(n);
+  queued_ = std::vector<std::atomic<bool>>(n);
+  queue_ = std::make_unique<MpmcQueue<Vertex>>(2 * n + 4);
+  counters_.resize(static_cast<std::size_t>(threads));
+  if (threads_ > 1) {
+    pool_.reserve(static_cast<std::size_t>(threads_));
+    for (int t = 0; t < threads_; ++t) {
+      pool_.emplace_back([this, t] { pool_entry(t); });
+    }
+  }
+}
+
+ParallelPushRelabel::~ParallelPushRelabel() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    shutdown_ = true;
+  }
+  pool_cv_.notify_all();
+  for (auto& th : pool_) th.join();
+}
+
+void ParallelPushRelabel::pool_entry(int index) {
+  t_worker_index = index;
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pool_mutex_);
+      pool_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    worker();
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      if (--workers_running_ == 0) pool_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelPushRelabel::copy_in() {
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  const auto m = static_cast<std::size_t>(net_.num_arcs());
+  for (std::size_t a = 0; a < m; ++a) {
+    cap_[a] = net_.capacity(static_cast<ArcId>(a));
+    flow_[a].store(net_.flow(static_cast<ArcId>(a)),
+                   std::memory_order_relaxed);
+  }
+  // Excess is implied by the conserved flows: inflow minus outflow.
+  for (std::size_t v = 0; v < n; ++v) {
+    excess_[v].store(-net_.net_out_flow(static_cast<Vertex>(v)),
+                     std::memory_order_relaxed);
+    queued_[v].store(false, std::memory_order_relaxed);
+  }
+  excess_[source_].store(0, std::memory_order_relaxed);
+}
+
+void ParallelPushRelabel::copy_out() {
+  for (ArcId a = 0; a < net_.num_arcs(); a += 2) {
+    net_.set_pair_flow(a, flow_[a].load(std::memory_order_relaxed));
+  }
+}
+
+void ParallelPushRelabel::exact_heights() {
+  ++stats_.global_relabels;
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  constexpr std::int32_t kUnset = -1;
+  std::vector<std::int32_t> h(n, kUnset);
+  std::vector<Vertex> queue;
+  auto residual = [&](ArcId a) {
+    return cap_[a] - flow_[a].load(std::memory_order_relaxed);
+  };
+  auto backward_bfs = [&](Vertex root, std::int32_t base) {
+    h[root] = base;
+    queue.clear();
+    queue.push_back(root);
+    std::size_t qi = 0;
+    while (qi < queue.size()) {
+      const Vertex v = queue[qi++];
+      for (std::int32_t i = adj_offset_[v]; i < adj_offset_[v + 1]; ++i) {
+        const ArcId a = adj_arcs_[i];
+        const Vertex w = arc_head_[a];
+        if (h[w] != kUnset || residual(a ^ 1) <= 0) continue;
+        h[w] = h[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  };
+  backward_bfs(sink_, 0);
+  const auto hs = static_cast<std::int32_t>(n);
+  if (h[source_] == kUnset) h[source_] = hs;
+  backward_bfs(source_, hs);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (h[v] == kUnset) h[v] = static_cast<std::int32_t>(2 * n);
+  }
+  h[source_] = hs;
+  for (std::size_t v = 0; v < n; ++v) {
+    height_[v].store(h[v], std::memory_order_relaxed);
+  }
+}
+
+void ParallelPushRelabel::enqueue(Vertex v) {
+  if (v == source_ || v == sink_) return;
+  if (!queued_[v].exchange(true, std::memory_order_acq_rel)) {
+    active_count_.fetch_add(1, std::memory_order_acq_rel);
+    while (!queue_->try_push(v)) {
+      // The queue is sized so this cannot stay full; spin defensively.
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ParallelPushRelabel::seed_queue() {
+  active_count_.store(0, std::memory_order_relaxed);
+  Vertex drained;
+  while (queue_->try_pop(drained)) {
+  }
+  const auto n = static_cast<std::int32_t>(net_.num_vertices());
+  for (Vertex v = 0; v < net_.num_vertices(); ++v) {
+    if (v == source_ || v == sink_) continue;
+    if (excess_[v].load(std::memory_order_relaxed) > 0 &&
+        height_[v].load(std::memory_order_relaxed) < n) {
+      enqueue(v);
+    }
+  }
+}
+
+void ParallelPushRelabel::discharge(Vertex v) {
+  ThreadCounters& counters =
+      counters_[static_cast<std::size_t>(t_worker_index)];
+  const auto n = static_cast<std::int32_t>(net_.num_vertices());
+  while (excess_[v].load(std::memory_order_acquire) > 0) {
+    // Yield to a pending global relabel at a safe boundary (never
+    // mid-push); the worker loop re-arms this vertex.
+    if (gr_state_.load(std::memory_order_relaxed) == 1) return;
+    // Height >= n proves no residual path to the sink remains (validity of
+    // the labeling), so this vertex's excess can never reach t in this run:
+    // park it.  drain_stranded_excess() walks the surplus back to the
+    // source after the threads quiesce, replacing the O(n)-relabel climb of
+    // naive excess return (phase-two of classic push-relabel).
+    if (height_[v].load(std::memory_order_acquire) >= n) return;
+    // Find the lowest residual neighbor (Hong & He's v-bar).
+    std::int32_t min_height = std::numeric_limits<std::int32_t>::max();
+    ArcId best = graph::kInvalidArc;
+    for (std::int32_t i = adj_offset_[v]; i < adj_offset_[v + 1]; ++i) {
+      const ArcId a = adj_arcs_[i];
+      if (cap_[a] - flow_[a].load(std::memory_order_acquire) <= 0) continue;
+      const std::int32_t hw =
+          height_[arc_head_[a]].load(std::memory_order_acquire);
+      if (hw < min_height) {
+        min_height = hw;
+        best = a;
+      }
+    }
+    if (best == graph::kInvalidArc) {
+      return;  // no residual arc: cannot be active (defensive)
+    }
+    const std::int32_t hv = height_[v].load(std::memory_order_acquire);
+    if (hv > min_height) {
+      // Push.  Only this thread decreases excess(v) and residual(best), so
+      // the stale reads can only underestimate the budget.
+      const Cap e = excess_[v].load(std::memory_order_acquire);
+      const Cap r = cap_[best] - flow_[best].load(std::memory_order_acquire);
+      const Cap delta = std::min(e, r);
+      if (delta <= 0) continue;  // neighbor refunded concurrently; rescan
+      excess_[v].fetch_sub(delta, std::memory_order_acq_rel);
+      flow_[best].fetch_add(delta, std::memory_order_acq_rel);
+      flow_[best ^ 1].fetch_sub(delta, std::memory_order_acq_rel);
+      const Vertex w = arc_head_[best];
+      excess_[w].fetch_add(delta, std::memory_order_acq_rel);
+      enqueue(w);
+      ++counters.pushes;
+    } else {
+      // Relabel to one above the lowest residual neighbor.
+      height_[v].store(min_height + 1, std::memory_order_release);
+      ++counters.relabels;
+      relabels_since_gr_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool ParallelPushRelabel::maybe_global_relabel() {
+  const int state = gr_state_.load(std::memory_order_acquire);
+  if (state == 1) {
+    // Someone else coordinates: park at this checkpoint until it finishes.
+    gr_paused_.fetch_add(1, std::memory_order_acq_rel);
+    while (gr_state_.load(std::memory_order_acquire) == 1) {
+      std::this_thread::yield();
+    }
+    gr_paused_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+  }
+  if (relabels_since_gr_.load(std::memory_order_relaxed) < gr_threshold_) {
+    return false;
+  }
+  int expected = 0;
+  if (!gr_state_.compare_exchange_strong(expected, 1,
+                                         std::memory_order_acq_rel)) {
+    return false;  // lost the election; next checkpoint will park us
+  }
+  // Coordinator: wait until every other worker is parked or has exited.
+  const int others = threads_ - 1;
+  while (gr_paused_.load(std::memory_order_acquire) +
+             gr_exited_.load(std::memory_order_acquire) <
+         others) {
+    std::this_thread::yield();
+  }
+  exact_heights();
+  relabels_since_gr_.store(0, std::memory_order_relaxed);
+  gr_state_.store(0, std::memory_order_release);
+  return true;
+}
+
+void ParallelPushRelabel::worker() {
+  const auto n = static_cast<std::int32_t>(net_.num_vertices());
+  Vertex v;
+  for (;;) {
+    if (maybe_global_relabel()) continue;
+    if (queue_->try_pop(v)) {
+      discharge(v);
+      queued_[v].store(false, std::memory_order_release);
+      // Re-arm if excess arrived between the last drain and the flag clear.
+      // Vertices parked at height >= n stay parked: their excess is
+      // provably sink-unreachable and is returned by the drain phase.
+      if (excess_[v].load(std::memory_order_acquire) > 0 &&
+          height_[v].load(std::memory_order_acquire) < n) {
+        enqueue(v);
+      }
+      active_count_.fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      if (active_count_.load(std::memory_order_acquire) == 0) {
+        gr_exited_.fetch_add(1, std::memory_order_acq_rel);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ParallelPushRelabel::drain_stranded_excess() {
+  // Single-threaded epilogue (workers have quiesced): return the excess of
+  // parked vertices to the source by walking positive-flow arcs backward,
+  // canceling flow cycles encountered on the way.  Equivalent to phase two
+  // of the classic push-relabel algorithm, but without any relabeling.
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  std::vector<std::int32_t> visit_pos(n, -1);
+  // Finds the in-arc (u -> cur) carrying flow: stored as reverse slot b^1
+  // of cur's out-slot b.
+  auto inflow_arc = [&](Vertex cur) -> ArcId {
+    for (std::int32_t i = adj_offset_[cur]; i < adj_offset_[cur + 1]; ++i) {
+      const ArcId b = adj_arcs_[i];
+      if (flow_[b ^ 1].load(std::memory_order_relaxed) > 0) return b ^ 1;
+    }
+    return graph::kInvalidArc;
+  };
+  for (Vertex v = 0; v < net_.num_vertices(); ++v) {
+    if (v == source_ || v == sink_) continue;
+    while (excess_[v].load(std::memory_order_relaxed) > 0) {
+      // Walk backward from v; walk[i] is the flow-carrying arc entering the
+      // vertex at depth i.
+      std::vector<ArcId> walk;
+      std::fill(visit_pos.begin(), visit_pos.end(), -1);
+      visit_pos[v] = 0;
+      Vertex cur = v;
+      bool reached_source = false;
+      while (!reached_source) {
+        const ArcId in = inflow_arc(cur);
+        if (in == graph::kInvalidArc) {
+          // Impossible for a vertex with surplus inflow; guard anyway.
+          excess_[v].store(0, std::memory_order_relaxed);
+          break;
+        }
+        const Vertex prev = arc_head_[in ^ 1];  // tail of (prev -> cur)
+        if (prev == source_) {
+          walk.push_back(in);
+          reached_source = true;
+          break;
+        }
+        if (visit_pos[prev] >= 0) {
+          // Cancel the flow cycle prev -> ... -> cur -> prev.
+          Cap cycle_min = flow_[in].load(std::memory_order_relaxed);
+          for (std::size_t k = static_cast<std::size_t>(visit_pos[prev]);
+               k < walk.size(); ++k) {
+            cycle_min = std::min(
+                cycle_min, flow_[walk[k]].load(std::memory_order_relaxed));
+          }
+          flow_[in].fetch_sub(cycle_min, std::memory_order_relaxed);
+          flow_[in ^ 1].fetch_add(cycle_min, std::memory_order_relaxed);
+          for (std::size_t k = static_cast<std::size_t>(visit_pos[prev]);
+               k < walk.size(); ++k) {
+            flow_[walk[k]].fetch_sub(cycle_min, std::memory_order_relaxed);
+            flow_[walk[k] ^ 1].fetch_add(cycle_min,
+                                         std::memory_order_relaxed);
+          }
+          // Rewind the walk to prev, unmarking the tails of popped arcs.
+          while (walk.size() > static_cast<std::size_t>(visit_pos[prev])) {
+            visit_pos[arc_head_[walk.back() ^ 1]] = -1;
+            walk.pop_back();
+          }
+          // visit_pos bookkeeping: prev keeps its position; resume there.
+          cur = prev;
+          continue;
+        }
+        walk.push_back(in);
+        visit_pos[prev] = static_cast<std::int32_t>(walk.size());
+        cur = prev;
+      }
+      if (!reached_source) continue;
+      Cap delta = excess_[v].load(std::memory_order_relaxed);
+      for (ArcId a : walk) {
+        delta = std::min(delta, flow_[a].load(std::memory_order_relaxed));
+      }
+      for (ArcId a : walk) {
+        flow_[a].fetch_sub(delta, std::memory_order_relaxed);
+        flow_[a ^ 1].fetch_add(delta, std::memory_order_relaxed);
+      }
+      excess_[v].fetch_sub(delta, std::memory_order_relaxed);
+    }
+  }
+}
+
+Cap ParallelPushRelabel::resume() {
+  copy_in();
+  // Saturate residual source arcs (Algorithm 5 lines 4-10).
+  for (std::int32_t i = adj_offset_[source_]; i < adj_offset_[source_ + 1];
+       ++i) {
+    const ArcId a = adj_arcs_[i];
+    const Cap delta = cap_[a] - flow_[a].load(std::memory_order_relaxed);
+    if (delta <= 0) continue;
+    flow_[a].fetch_add(delta, std::memory_order_relaxed);
+    flow_[a ^ 1].fetch_sub(delta, std::memory_order_relaxed);
+    excess_[arc_head_[a]].fetch_add(delta, std::memory_order_relaxed);
+  }
+  exact_heights();
+  seed_queue();
+  gr_state_.store(0, std::memory_order_relaxed);
+  gr_paused_.store(0, std::memory_order_relaxed);
+  gr_exited_.store(0, std::memory_order_relaxed);
+  relabels_since_gr_.store(0, std::memory_order_relaxed);
+  gr_threshold_ = static_cast<std::uint64_t>(net_.num_vertices());
+
+  if (threads_ == 1) {
+    t_worker_index = 0;
+    worker();
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      workers_running_ = threads_;
+      ++generation_;
+    }
+    pool_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(pool_mutex_);
+    pool_cv_.wait(lock, [&] { return workers_running_ == 0; });
+  }
+
+  drain_stranded_excess();
+
+  for (const ThreadCounters& c : counters_) {
+    stats_.pushes += c.pushes;
+    stats_.relabels += c.relabels;
+  }
+  std::fill(counters_.begin(), counters_.end(), ThreadCounters{});
+
+  copy_out();
+  return excess_[sink_].load(std::memory_order_relaxed);
+}
+
+void ParallelPushRelabel::reset_excess_after_restore(Cap /*sink_excess*/) {
+  // Excess is recomputed from the conserved flows at every resume(); there
+  // is no cross-run excess state to realign.
+}
+
+}  // namespace repflow::parallel

@@ -1,0 +1,119 @@
+// Asynchronous lock-free multithreaded push-relabel (paper Section V,
+// following Hong & He, IEEE TPDS 22(6), 2011).
+//
+// Worker threads drain a lock-free queue of active vertices.  A thread
+// holding vertex u finds u's lowest-height residual neighbor v̄; if
+// height(u) > height(v̄) it pushes min(excess(u), residual(u, v̄)) with
+// atomic fetch-add/sub on the arc flow and both excesses, otherwise it
+// relabels u to height(v̄) + 1 (heights are written only by the owning
+// thread).  No locks or barriers anywhere — only atomic RMW, per [31].
+//
+// Safety of the stale reads: a vertex is owned by at most one thread at a
+// time (enqueue-flag protocol), so only the owner decreases excess(u) and
+// residual(u, v); concurrent threads can only *increase* them, which keeps
+// every computed delta valid.
+//
+// The engine mirrors the integrated interface of the sequential
+// PushRelabel: resume() conserves the flows already on the FlowNetwork,
+// saturates residual source arcs, recomputes exact heights, and runs the
+// multithreaded loop; flows are copied back on completion.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "graph/maxflow.h"
+#include "parallel/mpmc_queue.h"
+
+namespace repflow::parallel {
+
+class ParallelPushRelabel {
+ public:
+  ParallelPushRelabel(graph::FlowNetwork& net, graph::Vertex source,
+                      graph::Vertex sink, int threads);
+  ~ParallelPushRelabel();
+
+  ParallelPushRelabel(const ParallelPushRelabel&) = delete;
+  ParallelPushRelabel& operator=(const ParallelPushRelabel&) = delete;
+
+  /// Integrated run from the network's current flows; returns the flow
+  /// value reached (the sink's excess).  Worker threads persist across
+  /// calls (Algorithm 6 resumes many times per query); the condition
+  /// variable handoff below is the only locking, and it sits outside the
+  /// push/relabel operations as [31] requires.
+  graph::Cap resume();
+
+  void reset_excess_after_restore(graph::Cap sink_excess);
+
+  const graph::FlowStats& stats() const { return stats_; }
+
+  int threads() const { return threads_; }
+
+ private:
+  void copy_in();
+  void copy_out();
+  void exact_heights();
+  void seed_queue();
+  void worker();
+  void discharge(graph::Vertex v);
+  void enqueue(graph::Vertex v);
+  void drain_stranded_excess();
+
+  /// Cooperative global relabeling (the role of [31]'s nonblocking global
+  /// relabel thread): when the relabel budget is exhausted, one worker
+  /// CAS-elects itself coordinator, the others park at safe checkpoints
+  /// (loop boundaries — never mid-push), and the coordinator recomputes
+  /// exact heights.  Pure atomics; returns true if this thread paused or
+  /// coordinated (caller should restart its loop iteration).
+  bool maybe_global_relabel();
+
+  graph::FlowNetwork& net_;
+  graph::Vertex source_;
+  graph::Vertex sink_;
+  int threads_;
+  graph::FlowStats stats_;
+
+  // Flattened topology (CSR) captured at construction.
+  std::vector<std::int32_t> adj_offset_;
+  std::vector<graph::ArcId> adj_arcs_;
+  std::vector<graph::Vertex> arc_head_;
+
+  // Shared mutable state.
+  std::vector<graph::Cap> cap_;
+  std::vector<std::atomic<graph::Cap>> flow_;
+  std::vector<std::atomic<graph::Cap>> excess_;
+  std::vector<std::atomic<std::int32_t>> height_;
+  std::vector<std::atomic<bool>> queued_;
+  std::unique_ptr<MpmcQueue<graph::Vertex>> queue_;
+  std::atomic<std::int64_t> active_count_{0};
+
+  // Global-relabel coordination (atomics only; no locks on the hot path).
+  std::atomic<int> gr_state_{0};   // 0 = normal, 1 = pause requested
+  std::atomic<int> gr_paused_{0};
+  std::atomic<int> gr_exited_{0};  // workers that finished this run
+  std::atomic<std::uint64_t> relabels_since_gr_{0};
+  std::uint64_t gr_threshold_ = 0;
+
+  // Per-thread operation counters folded into stats_ after each run.
+  struct ThreadCounters {
+    std::uint64_t pushes = 0;
+    std::uint64_t relabels = 0;
+  };
+  std::vector<ThreadCounters> counters_;
+
+  // Persistent worker pool (only used when threads_ > 1).
+  void pool_entry(int index);
+  std::vector<std::thread> pool_;
+  std::mutex pool_mutex_;
+  std::condition_variable pool_cv_;
+  std::uint64_t generation_ = 0;
+  int workers_running_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace repflow::parallel

@@ -1,0 +1,114 @@
+#include "support/cli.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace repflow {
+
+namespace {
+
+bool parse_bool_text(const std::string& text) {
+  if (text == "1" || text == "true" || text == "yes" || text == "on") {
+    return true;
+  }
+  if (text == "0" || text == "false" || text == "no" || text == "off") {
+    return false;
+  }
+  throw std::invalid_argument("CliFlags: bad boolean value '" + text + "'");
+}
+
+}  // namespace
+
+void CliFlags::define(const std::string& name,
+                      const std::string& default_value,
+                      const std::string& help) {
+  if (flags_.count(name)) {
+    throw std::logic_error("CliFlags: duplicate flag --" + name);
+  }
+  flags_[name] = Flag{default_value, default_value, help};
+}
+
+void CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      throw std::invalid_argument("CliFlags: unknown flag --" + name);
+    }
+    if (!has_value) {
+      // Allow "--flag value" when the next token is not itself a flag;
+      // otherwise treat as boolean true.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+}
+
+void CliFlags::print_help(const std::string& program_summary) const {
+  std::printf("%s\n\nFlags:\n", program_summary.c_str());
+  for (const auto& [name, flag] : flags_) {
+    std::printf("  --%-18s %s (default: %s)\n", name.c_str(),
+                flag.help.c_str(),
+                flag.default_value.empty() ? "\"\"" : flag.default_value.c_str());
+  }
+}
+
+std::string CliFlags::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::logic_error("CliFlags: undefined flag --" + name);
+  }
+  return it->second.value;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name) const {
+  const std::string text = get(name);
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("CliFlags: --" + name +
+                                " expects an integer, got '" + text + "'");
+  }
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  const std::string text = get(name);
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("CliFlags: --" + name +
+                                " expects a number, got '" + text + "'");
+  }
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  return parse_bool_text(get(name));
+}
+
+}  // namespace repflow

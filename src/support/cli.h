@@ -1,0 +1,47 @@
+// Tiny command-line flag parser shared by all bench/example binaries.
+//
+// Supported syntax: --name=value, --name value, and boolean --name.
+// Unknown flags raise an error so typos in bench sweeps fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace repflow {
+
+class CliFlags {
+ public:
+  /// Declare a flag before parsing.  `help` is shown by print_help().
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parse argv; throws std::invalid_argument on unknown or malformed flags.
+  /// Recognizes --help and sets help_requested().
+  void parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_requested_; }
+  void print_help(const std::string& program_summary) const;
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace repflow

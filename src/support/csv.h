@@ -1,0 +1,35 @@
+// Minimal CSV writing with RFC-4180 quoting; every bench can mirror its
+// printed series into a machine-readable file for external plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace repflow {
+
+/// Streamed CSV writer.  Construct with a path (empty path = disabled, all
+/// calls become no-ops, which lets benches take an optional --csv flag).
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+  explicit CsvWriter(const std::string& path);
+
+  bool enabled() const { return enabled_; }
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience for mixed numeric rows.
+  void write_header(const std::vector<std::string>& names) {
+    write_row(names);
+  }
+
+  /// Quote a cell per RFC 4180 when needed.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+  bool enabled_ = false;
+};
+
+}  // namespace repflow

@@ -1,0 +1,128 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace repflow {
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t i = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+  bool digit_seen = false;
+  for (; i < cell.size(); ++i) {
+    const char c = cell[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+' &&
+               c != 'x' && c != 'X') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  std::string out = os.str();
+  if (out.find('.') != std::string::npos) {
+    while (!out.empty() && out.back() == '0') out.pop_back();
+    if (!out.empty() && out.back() == '.') out.pop_back();
+  }
+  return out;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TablePrinter: need at least one column");
+  }
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter: row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::begin_row() {
+  if (building_) throw std::logic_error("TablePrinter: row already open");
+  building_ = true;
+  pending_.clear();
+}
+
+void TablePrinter::add_cell(std::string text) {
+  if (!building_) throw std::logic_error("TablePrinter: no open row");
+  pending_.push_back(std::move(text));
+}
+
+void TablePrinter::add_cell(double value, int precision) {
+  add_cell(format_double(value, precision));
+}
+
+void TablePrinter::add_cell(long long value) {
+  add_cell(std::to_string(value));
+}
+
+void TablePrinter::end_row() {
+  if (!building_) throw std::logic_error("TablePrinter: no open row");
+  building_ = false;
+  add_row(std::move(pending_));
+  pending_.clear();
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      const std::size_t pad = widths[c] - cell.size();
+      if (looks_numeric(cell)) {
+        os << ' ' << std::string(pad, ' ') << cell << ' ';
+      } else {
+        os << ' ' << cell << std::string(pad, ' ') << ' ';
+      }
+      os << '|';
+    }
+    os << '\n';
+  };
+  rule();
+  emit_row(headers_);
+  rule();
+  for (const auto& row : rows_) emit_row(row);
+  rule();
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace repflow

@@ -1,0 +1,48 @@
+// Aligned plain-text table rendering for benchmark output.
+//
+// Every figure/table bench prints its series through TablePrinter so that the
+// console output mirrors the rows the paper plots, and the same rows can be
+// captured to CSV via support/csv.h.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace repflow {
+
+/// Column-aligned table builder.  Cells are strings; numeric helpers format
+/// with a fixed precision.  Rendering right-aligns numeric-looking cells.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a full row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Incremental row building.
+  void begin_row();
+  void add_cell(std::string text);
+  void add_cell(double value, int precision = 3);
+  void add_cell(long long value);
+  void end_row();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with box-drawing separators to the stream.
+  void print(std::ostream& os) const;
+
+  /// Render to a string (used by tests).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+  bool building_ = false;
+};
+
+/// Format a double with fixed precision, trimming trailing zeros.
+std::string format_double(double value, int precision = 3);
+
+}  // namespace repflow

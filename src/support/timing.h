@@ -1,0 +1,61 @@
+// Monotonic wall-clock timing used by the benchmark harness.
+//
+// The paper reports "average runtime per query" in milliseconds; StopWatch
+// gives millisecond-resolution accumulation over many short solver calls
+// without per-call allocation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace repflow {
+
+/// Simple monotonic stopwatch.  start()/stop() pairs accumulate; lap-style
+/// use via elapsed_ms() while running is also supported.
+class StopWatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  void start() {
+    start_ = clock::now();
+    running_ = true;
+  }
+
+  /// Stop and fold the interval into the accumulated total.
+  void stop() {
+    if (!running_) return;
+    accumulated_ += clock::now() - start_;
+    running_ = false;
+  }
+
+  void reset() {
+    accumulated_ = clock::duration::zero();
+    running_ = false;
+  }
+
+  /// Accumulated time plus the in-flight interval if running, in ms.
+  double elapsed_ms() const {
+    auto total = accumulated_;
+    if (running_) total += clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(total).count();
+  }
+
+  double elapsed_us() const { return elapsed_ms() * 1000.0; }
+
+ private:
+  clock::time_point start_{};
+  clock::duration accumulated_{clock::duration::zero()};
+  bool running_ = false;
+};
+
+/// Measure a single callable invocation in milliseconds.
+template <typename F>
+double time_call_ms(F&& fn) {
+  StopWatch sw;
+  sw.start();
+  fn();
+  sw.stop();
+  return sw.elapsed_ms();
+}
+
+}  // namespace repflow

@@ -1,0 +1,79 @@
+#include "workload/arrivals.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repflow::workload {
+
+const char* arrival_kind_name(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kUniform:
+      return "uniform";
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+namespace {
+
+double exponential(double mean, repflow::Rng& rng) {
+  // Inverse CDF; clamp the uniform away from 0 to avoid infinities.
+  const double u = std::max(rng.uniform01(), 1e-12);
+  return -mean * std::log(u);
+}
+
+}  // namespace
+
+std::vector<double> generate_arrivals(const ArrivalConfig& config,
+                                      std::int64_t count,
+                                      repflow::Rng& rng) {
+  if (count < 0 || config.mean_interarrival_ms <= 0.0) {
+    throw std::invalid_argument("generate_arrivals: bad configuration");
+  }
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(count));
+  double t = 0.0;
+  switch (config.kind) {
+    case ArrivalKind::kUniform:
+      for (std::int64_t i = 0; i < count; ++i) {
+        arrivals.push_back(t);
+        t += config.mean_interarrival_ms * rng.uniform(0.5, 1.5);
+      }
+      break;
+    case ArrivalKind::kPoisson:
+      for (std::int64_t i = 0; i < count; ++i) {
+        arrivals.push_back(t);
+        t += exponential(config.mean_interarrival_ms, rng);
+      }
+      break;
+    case ArrivalKind::kBursty: {
+      if (config.burst_size < 1.0 || config.burst_gap_factor < 1.0) {
+        throw std::invalid_argument("generate_arrivals: bad burst shape");
+      }
+      // Within a burst, queries arrive densely (interarrival shrunk by the
+      // burst size); bursts are separated by long exponential gaps so the
+      // long-run mean interarrival matches the configured one.
+      const double in_burst = config.mean_interarrival_ms / config.burst_size;
+      std::int64_t emitted = 0;
+      while (emitted < count) {
+        const auto burst =
+            1 + static_cast<std::int64_t>(
+                    exponential(config.burst_size - 1.0 + 1e-9, rng));
+        for (std::int64_t b = 0; b < burst && emitted < count; ++b) {
+          arrivals.push_back(t);
+          ++emitted;
+          t += exponential(in_burst, rng);
+        }
+        t += exponential(
+            config.mean_interarrival_ms * config.burst_gap_factor, rng);
+      }
+      break;
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace repflow::workload

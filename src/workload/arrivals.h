@@ -1,0 +1,35 @@
+// Query arrival processes for stream experiments.
+//
+// The stream scheduler (core/stream.h) consumes absolute arrival times;
+// these generators produce them.  All draws come from the deterministic
+// Rng so stream experiments replay exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace repflow::workload {
+
+enum class ArrivalKind {
+  kUniform,   ///< fixed spacing with +-50% jitter
+  kPoisson,   ///< exponential interarrivals
+  kBursty,    ///< Poisson bursts of several queries, long gaps between
+};
+
+const char* arrival_kind_name(ArrivalKind k);
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double mean_interarrival_ms = 100.0;
+  /// Bursty only: queries per burst (expected) and gap/burst spacing ratio.
+  double burst_size = 5.0;
+  double burst_gap_factor = 10.0;
+};
+
+/// Generate `count` non-decreasing arrival times starting at 0.
+std::vector<double> generate_arrivals(const ArrivalConfig& config,
+                                      std::int64_t count, repflow::Rng& rng);
+
+}  // namespace repflow::workload

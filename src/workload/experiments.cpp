@@ -1,0 +1,60 @@
+#include "workload/experiments.h"
+
+#include <stdexcept>
+
+namespace repflow::workload {
+
+const std::vector<ExperimentSpec>& experiment_table() {
+  static const std::vector<ExperimentSpec> table = [] {
+    std::vector<ExperimentSpec> t;
+    // Exp 1: homogeneous Cheetah, no delay, no load (the basic problem).
+    t.push_back({1,
+                 false,
+                 {DiskGroup::kCheetahOnly, false, false},
+                 {DiskGroup::kCheetahOnly, false, false},
+                 "Exp1: hom cheetah | cheetah"});
+    // Exp 2: SSD site + HDD site.
+    t.push_back({2,
+                 true,
+                 {DiskGroup::kSsd, false, false},
+                 {DiskGroup::kHdd, false, false},
+                 "Exp2: het ssd | hdd"});
+    // Exp 3: HDD site + SSD site.
+    t.push_back({3,
+                 true,
+                 {DiskGroup::kHdd, false, false},
+                 {DiskGroup::kSsd, false, false},
+                 "Exp3: het hdd | ssd"});
+    // Exp 4: mixed ssd+hdd on both sites.
+    t.push_back({4,
+                 true,
+                 {DiskGroup::kSsdHdd, false, false},
+                 {DiskGroup::kSsdHdd, false, false},
+                 "Exp4: het ssd+hdd | ssd+hdd"});
+    // Exp 5: mixed disks plus R(2,10,2) delays and initial loads.
+    t.push_back({5,
+                 true,
+                 {DiskGroup::kSsdHdd, true, true},
+                 {DiskGroup::kSsdHdd, true, true},
+                 "Exp5: het ssd+hdd, R(2,10,2) delays+loads"});
+    return t;
+  }();
+  return table;
+}
+
+const ExperimentSpec& experiment_spec(std::int32_t number) {
+  for (const auto& spec : experiment_table()) {
+    if (spec.number == number) return spec;
+  }
+  throw std::invalid_argument("experiment_spec: unknown experiment " +
+                              std::to_string(number));
+}
+
+SystemConfig make_experiment_system(std::int32_t number,
+                                    std::int32_t disks_per_site,
+                                    repflow::Rng& rng) {
+  const ExperimentSpec& spec = experiment_spec(number);
+  return make_system({spec.site1, spec.site2}, disks_per_site, rng);
+}
+
+}  // namespace repflow::workload

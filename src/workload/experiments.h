@@ -1,0 +1,35 @@
+// The experiment matrix of paper Table IV: five two-site configurations
+// crossing disk heterogeneity, network delays, and initial loads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "workload/disks.h"
+
+namespace repflow::workload {
+
+/// Declarative description of one Table IV row.
+struct ExperimentSpec {
+  std::int32_t number = 0;  // 1..5
+  bool heterogeneous = false;
+  SiteRecipe site1;
+  SiteRecipe site2;
+  std::string label;  // e.g. "Exp5: het ssd+hdd R(2,10,2) delays/loads"
+};
+
+/// All five rows of Table IV.
+const std::vector<ExperimentSpec>& experiment_table();
+
+/// Row lookup by experiment number (1..5); throws on unknown number.
+const ExperimentSpec& experiment_spec(std::int32_t number);
+
+/// Materialize a physical system for experiment `number` with
+/// `disks_per_site` disks on each of the two sites.
+SystemConfig make_experiment_system(std::int32_t number,
+                                    std::int32_t disks_per_site,
+                                    repflow::Rng& rng);
+
+}  // namespace repflow::workload

@@ -1,0 +1,30 @@
+#include "workload/query.h"
+
+#include <stdexcept>
+
+namespace repflow::workload {
+
+Query RangeQuery::buckets(std::int32_t grid_n) const {
+  if (r < 1 || c < 1 || r > grid_n || c > grid_n || i < 0 || j < 0 ||
+      i >= grid_n || j >= grid_n) {
+    throw std::invalid_argument("RangeQuery::buckets: bad query shape");
+  }
+  Query out;
+  out.reserve(static_cast<std::size_t>(size()));
+  for (std::int32_t di = 0; di < r; ++di) {
+    const std::int32_t row = (i + di) % grid_n;
+    for (std::int32_t dj = 0; dj < c; ++dj) {
+      const std::int32_t col = (j + dj) % grid_n;
+      out.push_back(row * grid_n + col);
+    }
+  }
+  return out;
+}
+
+std::int64_t distinct_range_query_count(std::int32_t grid_n) {
+  const std::int64_t per_axis =
+      static_cast<std::int64_t>(grid_n) * (grid_n + 1) / 2;
+  return per_axis * per_axis;
+}
+
+}  // namespace repflow::workload

@@ -1,0 +1,37 @@
+// Query model (paper Section VI-B): wraparound range queries and arbitrary
+// queries over the N x N bucket grid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decluster/allocation.h"
+
+namespace repflow::workload {
+
+using decluster::BucketId;
+
+/// A query is ultimately a set of bucket ids (row * N + col).
+using Query = std::vector<BucketId>;
+
+/// Wraparound rectangular range query (i, j, r, c):
+/// top-left corner (i, j), r rows, c columns, indices mod N.
+struct RangeQuery {
+  std::int32_t i = 0;
+  std::int32_t j = 0;
+  std::int32_t r = 1;
+  std::int32_t c = 1;
+
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(r) * c;
+  }
+
+  /// Expand to the bucket set on an N x N grid.
+  Query buckets(std::int32_t grid_n) const;
+};
+
+/// Number of distinct (non-wraparound) range queries on an N x N grid:
+/// (N*(N+1)/2)^2, the count derived in Section VI-B.
+std::int64_t distinct_range_query_count(std::int32_t grid_n);
+
+}  // namespace repflow::workload

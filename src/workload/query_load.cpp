@@ -1,0 +1,133 @@
+#include "workload/query_load.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace repflow::workload {
+
+const char* query_type_name(QueryType t) {
+  return t == QueryType::kRange ? "Range" : "Arbitrary";
+}
+
+const char* load_name(LoadKind l) {
+  switch (l) {
+    case LoadKind::kLoad1:
+      return "Load1";
+    case LoadKind::kLoad2:
+      return "Load2";
+    case LoadKind::kLoad3:
+      return "Load3";
+  }
+  return "?";
+}
+
+QueryGenerator::QueryGenerator(std::int32_t grid_n, QueryType type,
+                               LoadKind load)
+    : grid_n_(grid_n), type_(type), load_(load) {
+  if (grid_n < 1) throw std::invalid_argument("QueryGenerator: grid_n < 1");
+}
+
+std::int32_t QueryGenerator::sample_k(repflow::Rng& rng) const {
+  const std::int32_t n = grid_n_;
+  switch (load_) {
+    case LoadKind::kLoad1:
+      throw std::logic_error("sample_k: load 1 does not draw k explicitly");
+    case LoadKind::kLoad2:
+      return static_cast<std::int32_t>(
+                 rng.below(static_cast<std::uint64_t>(n))) +
+             1;
+    case LoadKind::kLoad3: {
+      // p3_k proportional to 2^-k for k = 1..N: inverse-CDF sampling of a
+      // truncated geometric distribution.
+      const double u = rng.uniform01();
+      // CDF(k) = (1 - 2^-k) / (1 - 2^-N)
+      const double denom = 1.0 - std::ldexp(1.0, -n);
+      double cumulative = 0.0;
+      for (std::int32_t k = 1; k <= n; ++k) {
+        cumulative += std::ldexp(1.0, -k) / denom;
+        if (u < cumulative) return k;
+      }
+      return n;
+    }
+  }
+  return 1;
+}
+
+std::int64_t QueryGenerator::sample_size_for_k(std::int32_t k,
+                                               repflow::Rng& rng) const {
+  const std::int64_t n = grid_n_;
+  if (k < 1 || k > n) throw std::invalid_argument("sample_size_for_k: bad k");
+  const std::int64_t lo = (static_cast<std::int64_t>(k) - 1) * n + 1;
+  const std::int64_t hi = std::min(static_cast<std::int64_t>(k) * n, n * n);
+  return rng.range(lo, hi);
+}
+
+RangeQuery QueryGenerator::range_with_size(std::int64_t target,
+                                           repflow::Rng& rng) const {
+  const std::int64_t n = grid_n_;
+  target = std::clamp<std::int64_t>(target, 1, n * n);
+  // Choose a row count that admits a column count within the grid, then pick
+  // the nearest column count; the realized area approximates the target
+  // (exact whenever the target has a factorization with both parts <= N).
+  const std::int64_t r_min = (target + n - 1) / n;
+  const std::int64_t r_max = std::min<std::int64_t>(n, target);
+  const std::int64_t r = rng.range(r_min, r_max);
+  const std::int64_t c = std::clamp<std::int64_t>(
+      (target + r / 2) / r, 1, n);
+  RangeQuery q;
+  q.i = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n)));
+  q.j = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n)));
+  q.r = static_cast<std::int32_t>(r);
+  q.c = static_cast<std::int32_t>(c);
+  return q;
+}
+
+Query QueryGenerator::next_load1(repflow::Rng& rng) const {
+  const std::int32_t n = grid_n_;
+  if (type_ == QueryType::kRange) {
+    // Uniform over all (i, j, r, c): the natural range-query distribution
+    // with expected size ((N+1)/2)^2 ~ N^2/4, as in Section VI-C.
+    RangeQuery q;
+    q.i = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n)));
+    q.j = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n)));
+    q.r = static_cast<std::int32_t>(
+              rng.below(static_cast<std::uint64_t>(n))) +
+          1;
+    q.c = static_cast<std::int32_t>(
+              rng.below(static_cast<std::uint64_t>(n))) +
+          1;
+    return q.buckets(n);
+  }
+  // Arbitrary: uniform over all subsets = each bucket independently with
+  // probability 1/2 (expected size N^2/2); reject the empty query.
+  Query out;
+  const std::int32_t total = n * n;
+  do {
+    out.clear();
+    for (BucketId b = 0; b < total; ++b) {
+      if (rng.chance(0.5)) out.push_back(b);
+    }
+  } while (out.empty());
+  return out;
+}
+
+Query QueryGenerator::next_sized(repflow::Rng& rng) const {
+  const std::int32_t n = grid_n_;
+  const std::int32_t k = sample_k(rng);
+  const std::int64_t size = sample_size_for_k(k, rng);
+  if (type_ == QueryType::kRange) {
+    return range_with_size(size, rng).buckets(n);
+  }
+  auto picks = rng.sample_without_replacement(
+      static_cast<std::uint32_t>(n) * static_cast<std::uint32_t>(n),
+      static_cast<std::uint32_t>(size));
+  Query out(picks.begin(), picks.end());
+  return out;
+}
+
+Query QueryGenerator::next(repflow::Rng& rng) const {
+  return load_ == LoadKind::kLoad1 ? next_load1(rng) : next_sized(rng);
+}
+
+}  // namespace repflow::workload

@@ -1,0 +1,57 @@
+// Query-load generators (paper Section VI-C).
+//
+// The paper defines three loads through p^i_k = probability that a load-i
+// query is optimally retrievable in k disk accesses; given k, the bucket
+// count |Q| is uniform in [(k-1)N + 1, kN]:
+//   Load 1: the natural distribution of the query type itself (uniform
+//           random range query; each-bucket-with-prob-1/2 arbitrary query).
+//   Load 2: p2_k = 1/N (uniform k).
+//   Load 3: p3_k = 2N / ((2N-1) * 2^k)  (halving; small queries dominate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/rng.h"
+#include "workload/query.h"
+
+namespace repflow::workload {
+
+enum class QueryType { kRange, kArbitrary };
+enum class LoadKind { kLoad1, kLoad2, kLoad3 };
+
+const char* query_type_name(QueryType t);
+const char* load_name(LoadKind l);
+
+/// Generates queries of a fixed (type, load) pair on an N x N grid.
+class QueryGenerator {
+ public:
+  QueryGenerator(std::int32_t grid_n, QueryType type, LoadKind load);
+
+  std::int32_t grid_n() const { return grid_n_; }
+  QueryType type() const { return type_; }
+  LoadKind load() const { return load_; }
+
+  /// Draw one query (never empty).
+  Query next(repflow::Rng& rng) const;
+
+  /// Draw the optimal-access count k per the load distribution (loads 2/3).
+  std::int32_t sample_k(repflow::Rng& rng) const;
+
+  /// Bucket-count target for a sampled k: uniform in [(k-1)N + 1, kN],
+  /// capped at N^2.
+  std::int64_t sample_size_for_k(std::int32_t k, repflow::Rng& rng) const;
+
+  /// A range query whose area approximates `target` buckets.
+  RangeQuery range_with_size(std::int64_t target, repflow::Rng& rng) const;
+
+ private:
+  Query next_load1(repflow::Rng& rng) const;
+  Query next_sized(repflow::Rng& rng) const;
+
+  std::int32_t grid_n_;
+  QueryType type_;
+  LoadKind load_;
+};
+
+}  // namespace repflow::workload

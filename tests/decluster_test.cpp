@@ -1,0 +1,208 @@
+// Tests for the declustering substrate: allocations, the three replication
+// schemes of Section VI-A, and the additive-error analyzer.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "decluster/allocation.h"
+#include "decluster/analysis.h"
+#include "decluster/schemes.h"
+#include "support/rng.h"
+
+namespace repflow::decluster {
+namespace {
+
+TEST(Allocation, WellFormedAndBalanced) {
+  Allocation alloc = periodic_allocation(5, 1, 2);
+  EXPECT_TRUE(alloc.is_well_formed());
+  EXPECT_TRUE(alloc.is_balanced());
+  const auto histogram = alloc.disk_histogram();
+  for (auto count : histogram) EXPECT_EQ(count, 5);
+}
+
+TEST(Allocation, RejectsBadShape) {
+  EXPECT_THROW(Allocation(0, 5), std::invalid_argument);
+  EXPECT_THROW(Allocation(5, 0), std::invalid_argument);
+}
+
+TEST(Periodic, RejectsNonCoprimeCoefficients) {
+  EXPECT_THROW(periodic_allocation(6, 2, 1), std::invalid_argument);
+  EXPECT_THROW(periodic_allocation(6, 1, 3), std::invalid_argument);
+  EXPECT_NO_THROW(periodic_allocation(6, 1, 5));
+}
+
+TEST(Periodic, FormulaMatches) {
+  Allocation alloc = periodic_allocation(7, 1, 3);
+  for (int i = 0; i < 7; ++i) {
+    for (int j = 0; j < 7; ++j) {
+      EXPECT_EQ(alloc.disk_of(i, j), (i + 3 * j) % 7);
+    }
+  }
+}
+
+class OrthogonalAllN : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrthogonalAllN, PairStructureIsOrthogonal) {
+  const int n = GetParam();
+  auto rep = make_orthogonal(n, SiteMapping::kCopyPerSite);
+  EXPECT_TRUE(rep.is_orthogonal()) << "N=" << n;
+  // Copy 0 is a balanced Latin-square allocation.
+  EXPECT_TRUE(rep.copy(0).is_balanced());
+  // Copy 1 is well formed; it is balanced too (i + 2j covers each residue
+  // N times even when gcd(2, N) != 1, because i sweeps all residues).
+  EXPECT_TRUE(rep.copy(1).is_balanced());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OrthogonalAllN,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 10, 12, 16,
+                                           25, 40));
+
+TEST(Dependent, SecondCopyIsShift) {
+  const int n = 9;
+  auto rep = make_dependent(n, SiteMapping::kCopyPerSite, 4);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_EQ(rep.copy(1).disk_of(i, j),
+                (rep.copy(0).disk_of(i, j) + 4) % n);
+    }
+  }
+  EXPECT_TRUE(rep.copy(0).is_balanced());
+  EXPECT_TRUE(rep.copy(1).is_balanced());
+}
+
+TEST(Dependent, RejectsBadShift) {
+  EXPECT_THROW(make_dependent(5, SiteMapping::kCopyPerSite, 0),
+               std::invalid_argument);
+  EXPECT_THROW(make_dependent(5, SiteMapping::kCopyPerSite, 5),
+               std::invalid_argument);
+}
+
+TEST(Rda, SingleSiteCopiesAreDistinct) {
+  Rng rng(77);
+  auto rep = make_rda(8, 2, SiteMapping::kSingleSite, rng);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_NE(rep.copy(0).disk_of(i, j), rep.copy(1).disk_of(i, j));
+    }
+  }
+  EXPECT_EQ(rep.total_disks(), 8);
+}
+
+TEST(Rda, CopyPerSiteUsesDisjointDiskRanges) {
+  Rng rng(78);
+  auto rep = make_rda(6, 2, SiteMapping::kCopyPerSite, rng);
+  EXPECT_EQ(rep.total_disks(), 12);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      auto disks = rep.replica_disks(i, j);
+      ASSERT_EQ(disks.size(), 2u);
+      EXPECT_LT(disks[0], 6);
+      EXPECT_GE(disks[1], 6);
+      EXPECT_LT(disks[1], 12);
+    }
+  }
+}
+
+TEST(Rda, IsRandomButSeedStable) {
+  Rng a(9), b(9), c(10);
+  auto r1 = make_rda(5, 2, SiteMapping::kCopyPerSite, a);
+  auto r2 = make_rda(5, 2, SiteMapping::kCopyPerSite, b);
+  auto r3 = make_rda(5, 2, SiteMapping::kCopyPerSite, c);
+  int same12 = 0, same13 = 0;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      same12 += r1.copy(0).disk_of(i, j) == r2.copy(0).disk_of(i, j);
+      same13 += r1.copy(0).disk_of(i, j) == r3.copy(0).disk_of(i, j);
+    }
+  }
+  EXPECT_EQ(same12, 25);
+  EXPECT_LT(same13, 25);
+}
+
+TEST(ReplicatedAllocation, UniqueReplicaDeduplication) {
+  // Force both copies onto the same disk for one bucket.
+  Allocation a(3, 3), b(3, 3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      a.set_disk(i, j, (i + j) % 3);
+      b.set_disk(i, j, (i + j) % 3);
+    }
+  }
+  ReplicatedAllocation rep({a, b}, SiteMapping::kSingleSite);
+  EXPECT_EQ(rep.replica_disks(0, 0).size(), 2u);
+  EXPECT_EQ(rep.replica_disks_unique(0, 0).size(), 1u);
+}
+
+TEST(ReplicatedAllocation, RejectsMismatchedCopies) {
+  EXPECT_THROW(
+      ReplicatedAllocation({Allocation(3, 3), Allocation(4, 4)},
+                           SiteMapping::kCopyPerSite),
+      std::invalid_argument);
+  EXPECT_THROW(ReplicatedAllocation({}, SiteMapping::kCopyPerSite),
+               std::invalid_argument);
+}
+
+TEST(Analysis, MaxDiskLoadOnKnownGrid) {
+  // Row-major striping: query covering a full row hits one disk N times if
+  // the allocation maps a row to a single disk.
+  Allocation alloc(4, 4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) alloc.set_disk(i, j, i);
+  }
+  EXPECT_EQ(max_disk_load(alloc, 0, 0, 1, 4), 4);
+  EXPECT_EQ(max_disk_load(alloc, 0, 0, 4, 1), 1);
+  EXPECT_EQ(additive_error(alloc, 0, 0, 1, 4), 3);
+  EXPECT_EQ(additive_error(alloc, 0, 0, 4, 1), 0);
+}
+
+TEST(Analysis, WraparoundQueries) {
+  Allocation alloc = periodic_allocation(5, 1, 2);
+  // A query anchored at the bottom-right corner wraps; it must still count
+  // r*c buckets.
+  EXPECT_GE(max_disk_load(alloc, 4, 4, 3, 3), (9 + 4) / 5);
+  EXPECT_THROW(max_disk_load(alloc, 0, 0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(max_disk_load(alloc, 0, 0, 6, 1), std::invalid_argument);
+}
+
+TEST(Analysis, ProfileCountsAllQueries) {
+  Allocation alloc = periodic_allocation(4, 1, 1);
+  const ErrorProfile profile = additive_error_profile(alloc);
+  // N^2 corners x N^2 shapes.
+  EXPECT_EQ(profile.queries, 4 * 4 * 4 * 4);
+  EXPECT_GE(profile.worst, 0);
+  EXPECT_GE(profile.mean, 0.0);
+}
+
+TEST(Analysis, BestCoefficientBeatsWorstForSmallN) {
+  // For N = 8, a2 = 1 (diagonal striping) has poor column behaviour; the
+  // exhaustive search must find something at least as good.
+  const std::int32_t best = best_periodic_coefficient(8);
+  const auto best_err =
+      worst_case_additive_error(periodic_allocation(8, 1, best));
+  const auto naive_err =
+      worst_case_additive_error(periodic_allocation(8, 1, 1));
+  EXPECT_LE(best_err, naive_err);
+}
+
+TEST(Analysis, HeuristicCoefficientIsCoprime) {
+  for (int n : {17, 30, 64, 100}) {
+    const std::int32_t a2 = best_periodic_coefficient(n);
+    EXPECT_GE(a2, 1);
+    EXPECT_LT(a2, n);
+    EXPECT_EQ(std::gcd(a2, n), 1);
+  }
+}
+
+TEST(Schemes, MakeSchemeDispatch) {
+  Rng rng(4);
+  for (Scheme s : {Scheme::kRda, Scheme::kDependent, Scheme::kOrthogonal}) {
+    auto rep = make_scheme(s, 6, SiteMapping::kCopyPerSite, rng);
+    EXPECT_EQ(rep.copies(), 2);
+    EXPECT_EQ(rep.grid_n(), 6);
+    EXPECT_NE(scheme_name(s), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace repflow::decluster

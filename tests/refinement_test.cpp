@@ -1,0 +1,236 @@
+// Tests for the min-cost-flow engine, the min-total-work refinement, and
+// the incremental query session.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/incremental_session.h"
+#include "core/min_work.h"
+#include "core/reference.h"
+#include "core/solve.h"
+#include "decluster/schemes.h"
+#include "graph/checks.h"
+#include "graph/ford_fulkerson.h"
+#include "graph/generators.h"
+#include "graph/min_cost_flow.h"
+#include "support/rng.h"
+#include "workload/experiments.h"
+#include "workload/query_load.h"
+
+namespace repflow {
+namespace {
+
+constexpr double kTimeEps = 1e-6;
+
+TEST(MinCostFlow, HandComputedInstance) {
+  // Two parallel s->t routes: cheap capacity 1, expensive capacity 5.
+  graph::FlowNetwork net(4);
+  std::vector<graph::Cost> costs;
+  net.add_arc(0, 1, 1);
+  costs.push_back(1.0);  // s->a
+  net.add_arc(1, 3, 1);
+  costs.push_back(1.0);  // a->t (cheap route, cap 1, cost 2)
+  net.add_arc(0, 2, 5);
+  costs.push_back(3.0);  // s->b
+  net.add_arc(2, 3, 5);
+  costs.push_back(3.0);  // b->t (expensive route, cost 6)
+  graph::MinCostMaxflow mcmf(net, 0, 3, costs);
+  const auto result = mcmf.solve_from_zero();
+  EXPECT_EQ(result.flow, 6);
+  EXPECT_NEAR(result.cost, 1 * 2.0 + 5 * 6.0, 1e-9);
+  EXPECT_TRUE(graph::validate_flow(net, 0, 3).ok);
+}
+
+TEST(MinCostFlow, ZeroCostsReduceToMaxflow) {
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto g = graph::random_general(
+        2 + static_cast<std::int32_t>(rng.below(20)),
+        static_cast<std::int32_t>(rng.below(60)),
+        1 + static_cast<graph::Cap>(rng.below(9)), rng);
+    graph::FlowNetwork reference = g.net;
+    const auto expected = graph::FordFulkerson(reference, g.source, g.sink,
+                                               graph::SearchOrder::kBfs)
+                              .solve_from_zero()
+                              .value;
+    std::vector<graph::Cost> costs(
+        static_cast<std::size_t>(g.net.num_edges()), 0.0);
+    graph::MinCostMaxflow mcmf(g.net, g.source, g.sink, costs);
+    const auto result = mcmf.solve_from_zero();
+    EXPECT_EQ(result.flow, expected);
+    EXPECT_NEAR(result.cost, 0.0, 1e-9);
+  }
+}
+
+TEST(MinCostFlow, CostMatchesBruteForceOnTinyAssignment) {
+  // Bipartite assignment: 3 buckets x 2 disks, unit arcs; cost of serving
+  // bucket b from disk d = weights[b][d].  Sink caps 2 each.
+  const double weights[3][2] = {{1.0, 4.0}, {2.0, 2.5}, {6.0, 3.0}};
+  graph::FlowNetwork net(3 + 2 + 2);
+  std::vector<graph::Cost> costs;
+  const graph::Vertex s = 5, t = 6;
+  for (int b = 0; b < 3; ++b) {
+    net.add_arc(s, b, 1);
+    costs.push_back(0.0);
+    for (int d = 0; d < 2; ++d) {
+      net.add_arc(b, 3 + d, 1);
+      costs.push_back(weights[b][d]);
+    }
+  }
+  for (int d = 0; d < 2; ++d) {
+    net.add_arc(3 + d, t, 2);
+    costs.push_back(0.0);
+  }
+  graph::MinCostMaxflow mcmf(net, s, t, costs);
+  const auto result = mcmf.solve_from_zero();
+  EXPECT_EQ(result.flow, 3);
+  // Brute force over 2^3 assignments honoring cap 2 per disk.
+  double best = std::numeric_limits<double>::max();
+  for (int mask = 0; mask < 8; ++mask) {
+    int count[2] = {0, 0};
+    double cost = 0;
+    for (int b = 0; b < 3; ++b) {
+      const int d = (mask >> b) & 1;
+      ++count[d];
+      cost += weights[b][d];
+    }
+    if (count[0] <= 2 && count[1] <= 2) best = std::min(best, cost);
+  }
+  EXPECT_NEAR(result.cost, best, 1e-9);
+}
+
+TEST(MinCostFlow, RejectsBadInput) {
+  graph::FlowNetwork net(2);
+  net.add_arc(0, 1, 1);
+  EXPECT_THROW(graph::MinCostMaxflow(net, 0, 0, {0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(graph::MinCostMaxflow(net, 0, 1, {}), std::invalid_argument);
+}
+
+class MinWork : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinWork, KeepsOptimalResponseAndNeverIncreasesWork) {
+  Rng rng(900 + GetParam());
+  const std::int32_t n = 5 + static_cast<std::int32_t>(rng.below(4));
+  const auto rep = decluster::make_scheme(
+      static_cast<decluster::Scheme>(rng.below(3)), n,
+      decluster::SiteMapping::kCopyPerSite, rng);
+  const auto sys = workload::make_experiment_system(
+      2 + static_cast<std::int32_t>(rng.below(4)), n, rng);
+  const workload::QueryGenerator gen(n, workload::QueryType::kArbitrary,
+                                     workload::LoadKind::kLoad2);
+  const auto query = gen.next(rng);
+  const auto problem = core::build_problem(rep, query, sys);
+
+  const auto plain = core::solve(problem, core::SolverKind::kPushRelabelBinary);
+  const auto refined = core::solve_min_total_work(problem);
+
+  EXPECT_NEAR(refined.solve.response_time_ms, plain.response_time_ms,
+              kTimeEps);
+  EXPECT_TRUE(core::check_schedule(problem, refined.solve.schedule).empty());
+  EXPECT_LE(refined.total_work_ms,
+            core::schedule_total_work(problem, plain.schedule) + kTimeEps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MinWork, ::testing::Range(0, 15));
+
+TEST(MinWorkUnit, ActuallyImprovesAWastefulOptimum) {
+  // Two disks, C = {10, 1}; two buckets on both.  Response optimum is 10
+  // (one bucket each) OR 2 (both on the fast disk) -> optimal response 2,
+  // so the refinement question only arises when the optimum has slack:
+  // make the fast disk capacity-limited via its replica structure.
+  core::RetrievalProblem p;
+  p.system.num_sites = 1;
+  p.system.disks_per_site = 3;
+  p.system.cost_ms = {5.0, 5.0, 1.0};
+  p.system.delay_ms = {0.0, 0.0, 0.0};
+  p.system.init_load_ms = {0.0, 0.0, 0.0};
+  p.system.model = {"slowA", "slowB", "fast"};
+  // Bucket 0 on {slowA, fast}; bucket 1 on {slowB, fast}.
+  p.replicas = {{0, 2}, {1, 2}};
+  p.validate();
+  // Optimal response: both on fast = 2ms.  Any slow use costs 5.
+  const auto refined = core::solve_min_total_work(p);
+  EXPECT_NEAR(refined.solve.response_time_ms, 2.0, kTimeEps);
+  EXPECT_NEAR(refined.total_work_ms, 2.0, kTimeEps);
+  EXPECT_EQ(refined.solve.schedule.per_disk_count[2], 2);
+}
+
+TEST(IncrementalSession, GrowingQueryTracksFromScratchOptimum) {
+  Rng rng(51);
+  const std::int32_t n = 6;
+  const auto rep =
+      decluster::make_orthogonal(n, decluster::SiteMapping::kCopyPerSite);
+  const auto sys = workload::make_experiment_system(5, n, rng);
+  core::IncrementalQuerySession session(sys);
+
+  std::vector<std::vector<core::DiskId>> so_far;
+  // Grow the query bucket by bucket; after each batch compare against a
+  // from-scratch solve of the same bucket set.
+  const workload::QueryGenerator gen(n, workload::QueryType::kArbitrary,
+                                     workload::LoadKind::kLoad2);
+  const auto query = gen.next(rng);
+  std::size_t next = 0;
+  while (next < query.size()) {
+    const std::size_t batch = std::min<std::size_t>(
+        1 + rng.below(4), query.size() - next);
+    for (std::size_t i = 0; i < batch; ++i, ++next) {
+      const auto bucket = query[next];
+      const auto replicas = rep.replica_disks_unique(bucket / n, bucket % n);
+      session.add_bucket(replicas);
+      so_far.push_back(replicas);
+    }
+    const double incremental = session.reoptimize();
+    core::RetrievalProblem scratch;
+    scratch.system = sys;
+    scratch.replicas = so_far;
+    scratch.validate();
+    const double expected =
+        core::ReferenceSolver(scratch).solve().response_time_ms;
+    ASSERT_NEAR(incremental, expected, kTimeEps)
+        << "after " << so_far.size() << " buckets";
+    const auto schedule = session.schedule();
+    EXPECT_TRUE(core::check_schedule(scratch, schedule).empty());
+  }
+}
+
+TEST(IncrementalSession, ResponseTimeIsMonotoneInQuerySize) {
+  Rng rng(52);
+  const std::int32_t n = 5;
+  const auto rep =
+      decluster::make_orthogonal(n, decluster::SiteMapping::kCopyPerSite);
+  const auto sys = workload::make_experiment_system(4, n, rng);
+  core::IncrementalQuerySession session(sys);
+  double last = 0.0;
+  for (decluster::BucketId b = 0; b < n * n; ++b) {
+    session.add_bucket(rep.replica_disks_unique(b / n, b % n));
+    const double response = session.reoptimize();
+    EXPECT_GE(response, last - kTimeEps);
+    last = response;
+  }
+  EXPECT_EQ(session.num_buckets(), n * n);
+  EXPECT_GT(session.capacity_steps(), 0);
+}
+
+TEST(IncrementalSession, ApiGuards) {
+  workload::SystemConfig sys;
+  sys.num_sites = 1;
+  sys.disks_per_site = 2;
+  sys.cost_ms = {1.0, 1.0};
+  sys.delay_ms = {0.0, 0.0};
+  sys.init_load_ms = {0.0, 0.0};
+  sys.model = {"a", "b"};
+  core::IncrementalQuerySession session(sys);
+  EXPECT_THROW(session.add_bucket({}), std::invalid_argument);
+  EXPECT_THROW(session.add_bucket({7}), std::invalid_argument);
+  session.add_bucket({0, 1});
+  EXPECT_THROW(session.schedule(), std::logic_error);  // dirty
+  EXPECT_NEAR(session.reoptimize(), 1.0, kTimeEps);
+  EXPECT_NO_THROW(session.schedule());
+  session.reset();
+  EXPECT_EQ(session.num_buckets(), 0);
+  EXPECT_NEAR(session.reoptimize(), 0.0, kTimeEps);  // empty query
+}
+
+}  // namespace
+}  // namespace repflow

@@ -1,0 +1,257 @@
+// Tests for the workload substrate: disk catalog (Table III), system
+// generation, range/arbitrary queries, the three loads (Section VI-C), and
+// the experiment matrix (Table IV).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/rng.h"
+#include "workload/disks.h"
+#include "workload/experiments.h"
+#include "workload/query.h"
+#include "workload/query_load.h"
+
+namespace repflow::workload {
+namespace {
+
+TEST(DiskCatalog, MatchesTableIII) {
+  const auto& catalog = disk_catalog();
+  ASSERT_EQ(catalog.size(), 5u);
+  EXPECT_DOUBLE_EQ(disk_by_model("Barracuda").access_time_ms, 13.2);
+  EXPECT_DOUBLE_EQ(disk_by_model("Raptor").access_time_ms, 8.3);
+  EXPECT_DOUBLE_EQ(disk_by_model("Cheetah").access_time_ms, 6.1);
+  EXPECT_DOUBLE_EQ(disk_by_model("Vertex").access_time_ms, 0.5);
+  EXPECT_DOUBLE_EQ(disk_by_model("X25-E").access_time_ms, 0.2);
+  EXPECT_EQ(disk_by_model("Vertex").type, DiskType::kSsd);
+  EXPECT_EQ(disk_by_model("Barracuda").type, DiskType::kHdd);
+  EXPECT_THROW(disk_by_model("Floppy"), std::invalid_argument);
+}
+
+TEST(DiskGroups, MembershipIsCorrect) {
+  EXPECT_EQ(disks_in_group(DiskGroup::kCheetahOnly).size(), 1u);
+  EXPECT_EQ(disks_in_group(DiskGroup::kHdd).size(), 3u);
+  EXPECT_EQ(disks_in_group(DiskGroup::kSsd).size(), 2u);
+  EXPECT_EQ(disks_in_group(DiskGroup::kSsdHdd).size(), 5u);
+}
+
+TEST(SampleStepped, HitsOnlyGridValues) {
+  Rng rng(3);
+  std::set<double> seen;
+  for (int i = 0; i < 500; ++i) {
+    const double v = sample_stepped(2.0, 10.0, 2.0, rng);
+    seen.insert(v);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LE(v, 10.0);
+    EXPECT_NEAR(std::fmod(v, 2.0), 0.0, 1e-9);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // {2,4,6,8,10}
+  EXPECT_THROW(sample_stepped(5, 1, 1, rng), std::invalid_argument);
+}
+
+TEST(MakeSystem, HomogeneousCheetahIsBasic) {
+  Rng rng(1);
+  auto sys = make_system({{DiskGroup::kCheetahOnly, false, false},
+                          {DiskGroup::kCheetahOnly, false, false}},
+                         7, rng);
+  EXPECT_EQ(sys.total_disks(), 14);
+  EXPECT_TRUE(sys.is_basic());
+  EXPECT_DOUBLE_EQ(sys.cost_ms[0], 6.1);
+  EXPECT_EQ(sys.site_of(0), 0);
+  EXPECT_EQ(sys.site_of(7), 1);
+  EXPECT_DOUBLE_EQ(sys.completion_time(0, 3), 3 * 6.1);
+}
+
+TEST(MakeSystem, DelaysAreUniformWithinSite) {
+  Rng rng(2);
+  auto sys = make_system({{DiskGroup::kSsdHdd, true, true},
+                          {DiskGroup::kSsdHdd, true, true}},
+                         10, rng);
+  for (int d = 1; d < 10; ++d) {
+    EXPECT_DOUBLE_EQ(sys.delay_ms[d], sys.delay_ms[0]);
+  }
+  for (int d = 11; d < 20; ++d) {
+    EXPECT_DOUBLE_EQ(sys.delay_ms[d], sys.delay_ms[10]);
+  }
+  EXPECT_FALSE(sys.is_basic());
+}
+
+TEST(RangeQuery, BucketsAndWraparound) {
+  RangeQuery q{5, 5, 3, 2};
+  const Query buckets = q.buckets(7);
+  ASSERT_EQ(buckets.size(), 6u);
+  // Includes wrapped rows 5,6,0 and columns 5,6.
+  std::set<decluster::BucketId> expected;
+  for (int di = 0; di < 3; ++di) {
+    for (int dj = 0; dj < 2; ++dj) {
+      expected.insert(((5 + di) % 7) * 7 + (5 + dj) % 7);
+    }
+  }
+  EXPECT_EQ(std::set<decluster::BucketId>(buckets.begin(), buckets.end()),
+            expected);
+  EXPECT_THROW((RangeQuery{0, 0, 9, 1}.buckets(7)), std::invalid_argument);
+}
+
+TEST(RangeQuery, DistinctCountFormula) {
+  // (N(N+1)/2)^2 from Section VI-B.
+  EXPECT_EQ(distinct_range_query_count(1), 1);
+  EXPECT_EQ(distinct_range_query_count(2), 9);
+  EXPECT_EQ(distinct_range_query_count(7), 28 * 28);
+}
+
+TEST(QueryGenerator, Load1RangeSizesFollowUniformShape) {
+  const int n = 20;
+  QueryGenerator gen(n, QueryType::kRange, LoadKind::kLoad1);
+  Rng rng(5);
+  double mean_size = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    mean_size += static_cast<double>(gen.next(rng).size());
+  }
+  mean_size /= trials;
+  // E[r]*E[c] = ((N+1)/2)^2 = 110.25 for N=20.
+  EXPECT_NEAR(mean_size, 110.25, 8.0);
+}
+
+TEST(QueryGenerator, Load1ArbitraryHalfOfGrid) {
+  const int n = 16;
+  QueryGenerator gen(n, QueryType::kArbitrary, LoadKind::kLoad1);
+  Rng rng(6);
+  double mean_size = 0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) {
+    const Query q = gen.next(rng);
+    EXPECT_FALSE(q.empty());
+    mean_size += static_cast<double>(q.size());
+  }
+  mean_size /= trials;
+  EXPECT_NEAR(mean_size, n * n / 2.0, 6.0);
+}
+
+TEST(QueryGenerator, Load2KIsUniform) {
+  const int n = 10;
+  QueryGenerator gen(n, QueryType::kArbitrary, LoadKind::kLoad2);
+  Rng rng(7);
+  std::vector<int> hist(n + 1, 0);
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) ++hist[gen.sample_k(rng)];
+  for (int k = 1; k <= n; ++k) {
+    EXPECT_NEAR(hist[k], trials / n, trials / n * 0.2) << "k=" << k;
+  }
+}
+
+TEST(QueryGenerator, Load3KHalvesPerStep) {
+  const int n = 12;
+  QueryGenerator gen(n, QueryType::kArbitrary, LoadKind::kLoad3);
+  Rng rng(8);
+  std::vector<int> hist(n + 1, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) ++hist[gen.sample_k(rng)];
+  // p(k) ~ 2^-k: each bin roughly half the previous.
+  for (int k = 1; k <= 4; ++k) {
+    const double ratio =
+        static_cast<double>(hist[k + 1]) / std::max(hist[k], 1);
+    EXPECT_NEAR(ratio, 0.5, 0.12) << "k=" << k;
+  }
+}
+
+TEST(QueryGenerator, SizeForKWithinBand) {
+  const int n = 9;
+  QueryGenerator gen(n, QueryType::kArbitrary, LoadKind::kLoad2);
+  Rng rng(9);
+  for (int k = 1; k <= n; ++k) {
+    for (int i = 0; i < 50; ++i) {
+      const auto size = gen.sample_size_for_k(k, rng);
+      EXPECT_GE(size, (k - 1) * n + 1);
+      EXPECT_LE(size, static_cast<std::int64_t>(k) * n);
+    }
+  }
+  EXPECT_THROW(gen.sample_size_for_k(0, rng), std::invalid_argument);
+  EXPECT_THROW(gen.sample_size_for_k(n + 1, rng), std::invalid_argument);
+}
+
+TEST(QueryGenerator, RangeWithSizeApproximatesTarget) {
+  const int n = 15;
+  QueryGenerator gen(n, QueryType::kRange, LoadKind::kLoad2);
+  Rng rng(10);
+  for (std::int64_t target : {1, 5, 40, 100, 225}) {
+    for (int i = 0; i < 30; ++i) {
+      const RangeQuery q = gen.range_with_size(target, rng);
+      EXPECT_GE(q.r, 1);
+      EXPECT_LE(q.r, n);
+      EXPECT_GE(q.c, 1);
+      EXPECT_LE(q.c, n);
+      // Area within a factor ~2 of the target.
+      EXPECT_LE(q.size(), 2 * target + n);
+      EXPECT_GE(q.size() * 2 + n, target);
+    }
+  }
+}
+
+TEST(QueryGenerator, ArbitraryBucketsAreDistinctAndInGrid) {
+  const int n = 8;
+  QueryGenerator gen(n, QueryType::kArbitrary, LoadKind::kLoad3);
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const Query q = gen.next(rng);
+    std::set<decluster::BucketId> unique(q.begin(), q.end());
+    EXPECT_EQ(unique.size(), q.size());
+    for (auto b : q) {
+      EXPECT_GE(b, 0);
+      EXPECT_LT(b, n * n);
+    }
+  }
+}
+
+TEST(Experiments, TableHasFiveRows) {
+  EXPECT_EQ(experiment_table().size(), 5u);
+  EXPECT_THROW(experiment_spec(0), std::invalid_argument);
+  EXPECT_THROW(experiment_spec(6), std::invalid_argument);
+}
+
+TEST(Experiments, Exp1IsBasic) {
+  Rng rng(12);
+  auto sys = make_experiment_system(1, 10, rng);
+  EXPECT_TRUE(sys.is_basic());
+  EXPECT_EQ(sys.total_disks(), 20);
+}
+
+TEST(Experiments, Exp2and3AreMirrored) {
+  Rng rng_a(13), rng_b(13);
+  auto sys2 = make_experiment_system(2, 10, rng_a);
+  auto sys3 = make_experiment_system(3, 10, rng_b);
+  // Exp2 site1 = SSD costs (<= 0.5ms); Exp3 site1 = HDD costs (>= 6.1ms).
+  for (int d = 0; d < 10; ++d) {
+    EXPECT_LE(sys2.cost_ms[d], 0.5);
+    EXPECT_GE(sys3.cost_ms[d], 6.1);
+    EXPECT_GE(sys2.cost_ms[10 + d], 6.1);
+    EXPECT_LE(sys3.cost_ms[10 + d], 0.5);
+  }
+}
+
+TEST(Experiments, Exp5HasDelaysAndLoads) {
+  Rng rng(14);
+  auto sys = make_experiment_system(5, 10, rng);
+  EXPECT_FALSE(sys.is_basic());
+  for (int d = 0; d < 20; ++d) {
+    EXPECT_GE(sys.delay_ms[d], 2.0);
+    EXPECT_LE(sys.delay_ms[d], 10.0);
+    EXPECT_GE(sys.init_load_ms[d], 2.0);
+    EXPECT_LE(sys.init_load_ms[d], 10.0);
+  }
+}
+
+TEST(Experiments, Exp4HasNoDelaysButMixedDisks) {
+  Rng rng(15);
+  auto sys = make_experiment_system(4, 30, rng);
+  std::set<double> costs(sys.cost_ms.begin(), sys.cost_ms.end());
+  EXPECT_GE(costs.size(), 2u);  // mixed catalog with 60 draws
+  for (int d = 0; d < 60; ++d) {
+    EXPECT_DOUBLE_EQ(sys.delay_ms[d], 0.0);
+    EXPECT_DOUBLE_EQ(sys.init_load_ms[d], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace repflow::workload
