@@ -6,6 +6,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "obs/export_json.h"
 #include "support/rng.h"
 #include "support/timing.h"
 #include "workload/experiments.h"
@@ -23,6 +24,8 @@ SweepConfig parse_sweep(int argc, const char* const* argv,
   flags.define("seed", "2012", "workload RNG seed");
   flags.define("threads", "2", "parallel engine threads");
   flags.define("csv", "", "mirror series to a CSV file");
+  flags.define("metrics-json", "",
+               "write a JSON metrics/span sidecar after the sweep");
   flags.define("verify", "false", "cross-check optimal response times");
   flags.define("full", "false", "paper-scale sweep (N<=100, 1000 queries)");
   flags.parse(argc, argv);
@@ -38,6 +41,7 @@ SweepConfig parse_sweep(int argc, const char* const* argv,
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.threads = static_cast<int>(flags.get_int("threads"));
   config.csv = flags.get("csv");
+  config.metrics_json = flags.get("metrics-json");
   config.verify = flags.get_bool("verify");
   if (flags.get_bool("full")) {
     config.nmax = 100;
@@ -129,6 +133,17 @@ void sweep_n(const SweepConfig& config, const CellSpec& base,
     spec.n = n;
     emit_row(n, run_cell(spec, kinds, config.queries, config.seed,
                          config.threads, config.verify));
+  }
+  maybe_write_metrics_sidecar(config);
+}
+
+void maybe_write_metrics_sidecar(const SweepConfig& config) {
+  if (config.metrics_json.empty()) return;
+  if (obs::dump_global_metrics_json(config.metrics_json)) {
+    std::printf("metrics sidecar: %s\n", config.metrics_json.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write metrics sidecar %s\n",
+                 config.metrics_json.c_str());
   }
 }
 

@@ -32,6 +32,7 @@ struct SweepConfig {
   std::uint64_t seed = 2012;   // ICPP'12
   int threads = 2;             // parallel engine width
   std::string csv;             // optional CSV mirror ("" = disabled)
+  std::string metrics_json;    // optional JSON metrics sidecar ("" = off)
   bool verify = false;         // cross-check response times across solvers
 };
 
@@ -84,5 +85,11 @@ double time_solve_ms(const core::RetrievalProblem& problem,
 
 /// Standard header line printed by every bench binary.
 void print_banner(const std::string& title, const SweepConfig& config);
+
+/// If `config.metrics_json` is set, snapshot the global obs registry (and
+/// span timeline, when tracing was on) into that file — the metrics sidecar
+/// that rides next to each results/*.txt.  Called automatically at the end
+/// of sweep_n(); benches with custom loops can call it directly.
+void maybe_write_metrics_sidecar(const SweepConfig& config);
 
 }  // namespace repflow::bench

@@ -2,6 +2,7 @@
 
 #include "graph/dinic.h"
 #include "graph/ford_fulkerson.h"
+#include "obs/span.h"
 
 namespace repflow::core {
 
@@ -14,6 +15,9 @@ BlackBoxBinarySolver::BlackBoxBinarySolver(const RetrievalProblem& problem,
       pr_options_(pr_options) {}
 
 graph::Cap BlackBoxBinarySolver::run_probe(SolveResult& result) {
+  // Each probe is a full from-zero max-flow — the cost the integrated
+  // algorithms avoid; the span makes that visible in the timeline.
+  obs::ScopedSpan span("blackbox.maxflow_run");
   auto& net = network_.net();
   ++result.maxflow_runs;
   switch (engine_) {
@@ -51,6 +55,7 @@ SolveResult BlackBoxBinarySolver::solve() {
 
   // Binary capacity scaling, each probe a fresh max-flow from zero.
   while (tmax - tmin >= bounds.min_speed) {
+    obs::ScopedSpan probe("blackbox.probe");
     const double tmid = tmin + (tmax - tmin) * 0.5;
     network_.set_capacities_for_time(tmid);
     const graph::Cap reached = run_probe(result);
@@ -68,6 +73,7 @@ SolveResult BlackBoxBinarySolver::solve() {
   CapacityIncrementer incrementer(network_);
   graph::Cap reached = 0;
   do {
+    obs::ScopedSpan step("blackbox.capacity_step");
     incrementer.increment_min_cost();
     reached = run_probe(result);
   } while (reached != q);

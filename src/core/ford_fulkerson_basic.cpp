@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "graph/ford_fulkerson.h"
+#include "obs/span.h"
 
 namespace repflow::core {
 
@@ -37,7 +38,9 @@ SolveResult FordFulkersonBasicSolver::solve() {
   for (std::int64_t b = 0; b < q; ++b) {
     // Lines 3-8: augment from this bucket; bump every sink capacity by one
     // whenever the residual graph has no bucket->sink path.
+    obs::ScopedSpan span("alg1.augment");
     while (engine.augment_once(network_.bucket_vertex(b)) == 0) {
+      obs::ScopedSpan step("alg1.capacity_step");
       ++cap;
       network_.set_uniform_capacities(cap);
       ++result.capacity_steps;

@@ -1,6 +1,7 @@
 #include "core/ford_fulkerson_incremental.h"
 
 #include "graph/ford_fulkerson.h"
+#include "obs/span.h"
 
 namespace repflow::core {
 
@@ -26,7 +27,9 @@ SolveResult FordFulkersonIncrementalSolver::solve() {
   for (std::int64_t b = 0; b < q; ++b) {
     // Lines 3-7: augment this bucket, admitting the cheapest next
     // completion slot whenever the residual graph has no path.
+    obs::ScopedSpan span("alg2.augment");
     while (engine.augment_once(network_.bucket_vertex(b)) == 0) {
+      obs::ScopedSpan step("alg2.capacity_step");
       incrementer.increment_min_cost();
     }
   }

@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/span.h"
+
 namespace repflow::core {
 
 EngineFactory sequential_engine_factory(graph::PushRelabelOptions options) {
@@ -35,6 +37,7 @@ SolveResult PushRelabelBinarySolver::solve() {
 
   // Phase 2: binary capacity scaling (lines 12-37).
   while (tmax - tmin >= bounds.min_speed) {
+    obs::ScopedSpan probe("alg6.probe");
     const double tmid = tmin + (tmax - tmin) * 0.5;
     network_.set_capacities_for_time(tmid);
     const graph::Cap reached = engine->resume();
@@ -62,6 +65,7 @@ SolveResult PushRelabelBinarySolver::solve() {
   CapacityIncrementer incrementer(network_);
   graph::Cap reached = saved_excess_t;
   while (reached != q) {
+    obs::ScopedSpan step("alg6.capacity_step");
     incrementer.increment_min_cost();
     reached = engine->resume();
   }

@@ -1,5 +1,7 @@
 #include "core/push_relabel_incremental.h"
 
+#include "obs/span.h"
+
 namespace repflow::core {
 
 PushRelabelIncrementalSolver::PushRelabelIncrementalSolver(
@@ -19,6 +21,7 @@ SolveResult PushRelabelIncrementalSolver::solve() {
   // repeat until the sink's excess reaches |Q|.
   graph::Cap reached = 0;
   while (reached != q) {
+    obs::ScopedSpan step("alg5.capacity_step");
     incrementer.increment_min_cost();
     reached = engine.resume();
   }

@@ -1,12 +1,15 @@
 #include "core/solve.h"
 
 #include <stdexcept>
+#include <string>
 
 #include "core/black_box.h"
 #include "core/ford_fulkerson_basic.h"
 #include "core/ford_fulkerson_incremental.h"
 #include "core/push_relabel_binary.h"
 #include "core/push_relabel_incremental.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "parallel/parallel_engine.h"
 
 namespace repflow::core {
@@ -29,8 +32,61 @@ const char* solver_name(SolverKind kind) {
   return "?";
 }
 
-SolveResult solve(const RetrievalProblem& problem, SolverKind kind,
-                  int threads) {
+const char* solver_id(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kFordFulkersonBasic:
+      return "alg1";
+    case SolverKind::kFordFulkersonIncremental:
+      return "alg2";
+    case SolverKind::kPushRelabelIncremental:
+      return "alg5";
+    case SolverKind::kPushRelabelBinary:
+      return "alg6";
+    case SolverKind::kBlackBoxBinary:
+      return "blackbox";
+    case SolverKind::kParallelPushRelabelBinary:
+      return "parallel";
+  }
+  return "?";
+}
+
+namespace {
+
+// Per-kind observability handles, resolved once per process.  The solve
+// facade is the single funnel every catalog solver passes through, so this
+// is where run-level metrics (latency histogram, step/probe counters) are
+// recorded; phase-level spans live inside the individual solvers.
+struct SolverMetrics {
+  obs::Histogram& solve_ms;
+  obs::Counter& solves;
+  obs::Counter& capacity_steps;
+  obs::Counter& binary_probes;
+  obs::Counter& maxflow_runs;
+  const char* span_name;
+};
+
+SolverMetrics& metrics_for(SolverKind kind) {
+  static SolverMetrics table[] = {
+#define REPFLOW_SOLVER_METRICS(id)                                          \
+  {obs::Registry::global().histogram("solver." id ".solve_ms"),             \
+   obs::Registry::global().counter("solver." id ".solves"),                 \
+   obs::Registry::global().counter("solver." id ".capacity_steps"),         \
+   obs::Registry::global().counter("solver." id ".binary_probes"),          \
+   obs::Registry::global().counter("solver." id ".maxflow_runs"),           \
+   "solve." id}
+      REPFLOW_SOLVER_METRICS("alg1"),
+      REPFLOW_SOLVER_METRICS("alg2"),
+      REPFLOW_SOLVER_METRICS("alg5"),
+      REPFLOW_SOLVER_METRICS("alg6"),
+      REPFLOW_SOLVER_METRICS("blackbox"),
+      REPFLOW_SOLVER_METRICS("parallel"),
+#undef REPFLOW_SOLVER_METRICS
+  };
+  return table[static_cast<int>(kind)];
+}
+
+SolveResult dispatch(const RetrievalProblem& problem, SolverKind kind,
+                     int threads) {
   switch (kind) {
     case SolverKind::kFordFulkersonBasic:
       return FordFulkersonBasicSolver(problem).solve();
@@ -48,6 +104,24 @@ SolveResult solve(const RetrievalProblem& problem, SolverKind kind,
           .solve();
   }
   throw std::invalid_argument("solve: unknown solver kind");
+}
+
+}  // namespace
+
+SolveResult solve(const RetrievalProblem& problem, SolverKind kind,
+                  int threads) {
+  SolverMetrics& metrics = metrics_for(kind);
+  obs::ScopedSpan span(metrics.span_name);
+  SolveResult result;
+  {
+    obs::ScopedLatency latency(metrics.solve_ms);
+    result = dispatch(problem, kind, threads);
+  }
+  metrics.solves.add(1);
+  metrics.capacity_steps.add(static_cast<std::uint64_t>(result.capacity_steps));
+  metrics.binary_probes.add(static_cast<std::uint64_t>(result.binary_probes));
+  metrics.maxflow_runs.add(static_cast<std::uint64_t>(result.maxflow_runs));
+  return result;
 }
 
 }  // namespace repflow::core

@@ -31,6 +31,11 @@ enum class SolverKind {
   kParallelPushRelabelBinary, // Algorithm 6 with the lock-free parallel engine
 };
 
+/// Human-readable label used in bench/table output.
 const char* solver_name(SolverKind kind);
+
+/// Short stable identifier ("alg1", "alg6", "blackbox", ...) used for
+/// metric/span names and CLI flags.
+const char* solver_id(SolverKind kind);
 
 }  // namespace repflow::core

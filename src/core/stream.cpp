@@ -4,25 +4,59 @@
 #include <stdexcept>
 
 #include "core/solve.h"
+#include "obs/span.h"
+#include "support/timing.h"
 
 namespace repflow::core {
 
 QueryStreamScheduler::QueryStreamScheduler(
     const decluster::ReplicatedAllocation& allocation,
     workload::SystemConfig base_system, SolverKind solver, int threads)
-    : allocation_(allocation),
+    : allocation_(&allocation),
       system_(std::move(base_system)),
       solver_(solver),
       threads_(threads) {
-  if (allocation_.total_disks() != system_.total_disks()) {
+  if (allocation_->total_disks() != system_.total_disks()) {
     throw std::invalid_argument(
         "QueryStreamScheduler: allocation/system disk count mismatch");
   }
   busy_until_.assign(static_cast<std::size_t>(system_.total_disks()), 0.0);
 }
 
+QueryStreamScheduler::QueryStreamScheduler(workload::SystemConfig base_system,
+                                           SolverKind solver, int threads)
+    : allocation_(nullptr),
+      system_(std::move(base_system)),
+      solver_(solver),
+      threads_(threads) {
+  busy_until_.assign(static_cast<std::size_t>(system_.total_disks()), 0.0);
+}
+
 StreamEvent QueryStreamScheduler::submit(const workload::Query& query,
                                          double arrival_ms) {
+  if (allocation_ == nullptr) {
+    throw std::logic_error(
+        "QueryStreamScheduler: no allocation (trace-replay mode); use "
+        "submit_replicas");
+  }
+  // advance_loads() must precede build_problem: it writes the X_j initial
+  // loads into system_ that the problem snapshot captures.
+  const double max_backlog = advance_loads(arrival_ms);
+  return submit_problem(build_problem(*allocation_, query, system_),
+                        arrival_ms, max_backlog);
+}
+
+StreamEvent QueryStreamScheduler::submit_replicas(
+    std::vector<std::vector<DiskId>> replicas, double arrival_ms) {
+  const double max_backlog = advance_loads(arrival_ms);
+  RetrievalProblem problem;
+  problem.replicas = std::move(replicas);
+  problem.system = system_;
+  problem.validate();
+  return submit_problem(std::move(problem), arrival_ms, max_backlog);
+}
+
+double QueryStreamScheduler::advance_loads(double arrival_ms) {
   if (arrival_ms < last_arrival_ms_) {
     throw std::invalid_argument(
         "QueryStreamScheduler: arrivals must be non-decreasing");
@@ -36,10 +70,17 @@ StreamEvent QueryStreamScheduler::submit(const workload::Query& query,
     system_.init_load_ms[d] = std::max(0.0, busy_until_[d] - arrival_ms);
     max_backlog = std::max(max_backlog, system_.init_load_ms[d]);
   }
+  return max_backlog;
+}
 
-  const RetrievalProblem problem =
-      build_problem(allocation_, query, system_);
+StreamEvent QueryStreamScheduler::submit_problem(RetrievalProblem problem,
+                                                 double arrival_ms,
+                                                 double max_backlog) {
+  obs::ScopedSpan span("stream.submit");
+  StopWatch solve_watch;
+  solve_watch.start();
   const SolveResult result = solve(problem, solver_, threads_);
+  solve_watch.stop();
 
   // Advance each used disk's busy horizon by the work this schedule put on
   // it (the response-time model's completion: D + X + k*C after arrival).
@@ -56,8 +97,28 @@ StreamEvent QueryStreamScheduler::submit(const workload::Query& query,
   event.response_ms = result.response_time_ms;
   event.completion_ms = arrival_ms + result.response_time_ms;
   event.max_initial_load_ms = max_backlog;
+  event.solve_ms = solve_watch.elapsed_ms();
   event.buckets = problem.query_size();
   event.schedule = std::move(result.schedule);
+
+  // Latency decomposition: backlog wait vs. solver cost vs. delivered
+  // response.  Recorded both per-scheduler (stats()) and process-globally.
+  struct GlobalHists {
+    obs::Histogram& queue_wait =
+        obs::Registry::global().histogram("stream.queue_wait_ms");
+    obs::Histogram& solve =
+        obs::Registry::global().histogram("stream.solve_ms");
+    obs::Histogram& response =
+        obs::Registry::global().histogram("stream.response_ms");
+  };
+  static GlobalHists global_hists;
+  queue_wait_hist_.observe(max_backlog);
+  solve_hist_.observe(event.solve_ms);
+  response_hist_.observe(event.response_ms);
+  global_hists.queue_wait.observe(max_backlog);
+  global_hists.solve.observe(event.solve_ms);
+  global_hists.response.observe(event.response_ms);
+
   events_.push_back(event);
   return event;
 }
@@ -68,14 +129,20 @@ StreamStats QueryStreamScheduler::stats() const {
   if (events_.empty()) return s;
   double total_response = 0.0;
   double total_wait = 0.0;
+  double total_solve = 0.0;
   for (const auto& e : events_) {
     total_response += e.response_ms;
     total_wait += e.max_initial_load_ms;
+    total_solve += e.solve_ms;
     s.max_response_ms = std::max(s.max_response_ms, e.response_ms);
     s.makespan_ms = std::max(s.makespan_ms, e.completion_ms);
   }
   s.mean_response_ms = total_response / static_cast<double>(s.queries);
   s.mean_queue_wait_ms = total_wait / static_cast<double>(s.queries);
+  s.mean_solve_ms = total_solve / static_cast<double>(s.queries);
+  s.queue_wait = queue_wait_hist_.summary();
+  s.solve_time = solve_hist_.summary();
+  s.response_time = response_hist_.summary();
   return s;
 }
 

@@ -16,6 +16,7 @@
 #include "core/schedule.h"
 #include "core/solver.h"
 #include "decluster/allocation.h"
+#include "obs/metrics.h"
 #include "workload/disks.h"
 #include "workload/query.h"
 
@@ -27,6 +28,7 @@ struct StreamEvent {
   double response_ms = 0.0;       ///< optimal response time (incl. waits)
   double completion_ms = 0.0;     ///< arrival + response
   double max_initial_load_ms = 0.0;  ///< busiest disk's backlog at arrival
+  double solve_ms = 0.0;          ///< wall time the solver spent on this query
   std::int64_t buckets = 0;
   Schedule schedule;
 };
@@ -37,6 +39,14 @@ struct StreamStats {
   double max_response_ms = 0.0;
   double makespan_ms = 0.0;        ///< completion of the last query
   double mean_queue_wait_ms = 0.0; ///< mean max initial load seen per query
+  double mean_solve_ms = 0.0;      ///< mean solver wall time per query
+
+  /// Latency decomposition of this scheduler's queries (zero in
+  /// REPFLOW_OBS_DISABLED builds): how long queries waited on disk backlog
+  /// vs. how long the solver took vs. the optimal response time delivered.
+  obs::HistogramSummary queue_wait;
+  obs::HistogramSummary solve_time;
+  obs::HistogramSummary response_time;
 };
 
 /// Schedules a stream of queries against one replicated allocation,
@@ -51,9 +61,21 @@ class QueryStreamScheduler {
                        SolverKind solver = SolverKind::kPushRelabelBinary,
                        int threads = 2);
 
+  /// Trace-replay mode: no allocation — every query must arrive as an
+  /// explicit replica list through submit_replicas() (submit(query, ...)
+  /// throws std::logic_error in this mode).
+  explicit QueryStreamScheduler(workload::SystemConfig base_system,
+                                SolverKind solver = SolverKind::kPushRelabelBinary,
+                                int threads = 2);
+
   /// Process one query arriving at `arrival_ms` (must be non-decreasing
   /// across calls; throws otherwise).  Returns the event record.
   StreamEvent submit(const workload::Query& query, double arrival_ms);
+
+  /// Same, but with the bucket replica lists given directly (e.g. from a
+  /// Trace).  Works in both modes.
+  StreamEvent submit_replicas(std::vector<std::vector<DiskId>> replicas,
+                              double arrival_ms);
 
   /// Busy horizon of a disk: the absolute time at which it finishes all
   /// work scheduled so far.
@@ -65,13 +87,25 @@ class QueryStreamScheduler {
   StreamStats stats() const;
 
  private:
-  const decluster::ReplicatedAllocation& allocation_;
+  /// Fold the backlog left by earlier schedules into system_.init_load_ms
+  /// for a query arriving at `arrival_ms`; returns the busiest backlog.
+  double advance_loads(double arrival_ms);
+  StreamEvent submit_problem(RetrievalProblem problem, double arrival_ms,
+                             double max_backlog);
+
+  const decluster::ReplicatedAllocation* allocation_;  // null in replay mode
   workload::SystemConfig system_;
   SolverKind solver_;
   int threads_;
   std::vector<double> busy_until_;  // absolute ms per disk
   std::vector<StreamEvent> events_;
   double last_arrival_ms_ = 0.0;
+
+  // Per-scheduler latency histograms (this instance's queries only); the
+  // same observations also feed the process-global `stream.*` histograms.
+  obs::Histogram queue_wait_hist_;
+  obs::Histogram solve_hist_;
+  obs::Histogram response_hist_;
 };
 
 }  // namespace repflow::core

@@ -49,16 +49,22 @@ std::string write_trace_string(const Trace& trace) {
 Trace read_trace(std::istream& in) {
   Trace trace;
   std::string line;
-  auto fail = [](const std::string& why) -> Trace {
-    throw std::runtime_error("read_trace: " + why);
+  std::int64_t line_no = 0;
+  // Every parse error carries the 1-based line it was detected on, so a
+  // broken multi-megabyte trace points at its defect instead of at "the
+  // file".  End-of-input errors report the line after the last one read.
+  auto fail = [&line_no](const std::string& why) -> Trace {
+    throw std::runtime_error("read_trace: line " + std::to_string(line_no) +
+                             ": " + why);
   };
+  ++line_no;
   if (!std::getline(in, line) || line != "trace v1") {
     return fail("missing 'trace v1' header");
   }
   std::int64_t expected_disks = -1;
   std::int64_t seen_disks = 0;
   std::int64_t pending_buckets = 0;
-  while (std::getline(in, line)) {
+  while (++line_no, std::getline(in, line)) {
     if (line.empty()) continue;
     std::istringstream ls(line);
     std::string kind;
@@ -116,8 +122,15 @@ Trace read_trace(std::istream& in) {
     }
   }
   if (expected_disks < 0) return fail("missing system line");
-  if (seen_disks != expected_disks) return fail("disk count mismatch");
-  if (pending_buckets != 0) return fail("trailing incomplete query");
+  if (seen_disks != expected_disks) {
+    return fail("disk count mismatch: saw " + std::to_string(seen_disks) +
+                " disk lines, system declares " +
+                std::to_string(expected_disks));
+  }
+  if (pending_buckets != 0) {
+    return fail("trailing incomplete query: " +
+                std::to_string(pending_buckets) + " bucket line(s) missing");
+  }
   return trace;
 }
 

@@ -14,6 +14,8 @@ Dinic::Dinic(FlowNetwork& net, Vertex source, Vertex sink)
   }
 }
 
+Dinic::~Dinic() { publish_flow_stats(stats_); }
+
 bool Dinic::build_level_graph() {
   level_.assign(static_cast<std::size_t>(net_.num_vertices()), -1);
   queue_.clear();

@@ -14,6 +14,8 @@ namespace repflow::graph {
 class Dinic {
  public:
   Dinic(FlowNetwork& net, Vertex source, Vertex sink);
+  /// Publishes the accumulated FlowStats to the obs registry.
+  ~Dinic();
 
   /// Run from the network's current flow state; returns flow added.
   Cap run();

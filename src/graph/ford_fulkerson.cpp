@@ -28,6 +28,8 @@ FordFulkerson::FordFulkerson(FlowNetwork& net, Vertex source, Vertex sink,
   dfs_arc_index_.assign(n, 0);
 }
 
+FordFulkerson::~FordFulkerson() { publish_flow_stats(stats_); }
+
 Cap FordFulkerson::augment_once(Vertex from) {
   if (from == kInvalidVertex) from = source_;
   // The network may have grown since construction (not used by the retrieval

@@ -20,6 +20,8 @@ class FordFulkerson {
  public:
   explicit FordFulkerson(FlowNetwork& net, Vertex source, Vertex sink,
                          SearchOrder order = SearchOrder::kDfs);
+  /// Publishes the accumulated FlowStats to the obs registry.
+  ~FordFulkerson();
 
   /// Search for one residual path from `from` to the sink and, if found,
   /// augment by the path bottleneck.  Returns the pushed amount (0 if no

@@ -16,6 +16,8 @@ PushRelabel::PushRelabel(FlowNetwork& net, Vertex source, Vertex sink,
   ensure_sizes();
 }
 
+PushRelabel::~PushRelabel() { publish_flow_stats(stats_); }
+
 void PushRelabel::ensure_sizes() {
   const auto n = static_cast<std::size_t>(net_.num_vertices());
   if (excess_.size() < n) {

@@ -37,6 +37,8 @@ class PushRelabel {
  public:
   PushRelabel(FlowNetwork& net, Vertex source, Vertex sink,
               PushRelabelOptions options = {});
+  /// Publishes the accumulated FlowStats to the obs registry.
+  ~PushRelabel();
 
   // ---- Black-box interface (the [12] baseline uses exactly this) ----
 

@@ -1,0 +1,77 @@
+#include "obs/export_csv.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/csv.h"
+
+namespace repflow::obs {
+
+namespace {
+
+std::string fmt(double value) {
+  if (!std::isfinite(value)) return "inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string fmt(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+}  // namespace
+
+bool write_metrics_csv(const std::string& path,
+                       const MetricsSnapshot& snapshot) {
+  if (path.empty()) return false;
+  CsvWriter csv;
+  try {
+    csv = CsvWriter(path);
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  csv.write_header({"kind", "name", "field", "value"});
+  for (const auto& [name, value] : snapshot.counters) {
+    csv.write_row({"counter", name, "value", fmt(value)});
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    csv.write_row({"gauge", name, "value", fmt(value)});
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const HistogramSummary& s = hist.summary;
+    csv.write_row({"histogram", name, "count", fmt(s.count)});
+    csv.write_row({"histogram", name, "sum_ms", fmt(s.sum)});
+    csv.write_row({"histogram", name, "min_ms", fmt(s.min)});
+    csv.write_row({"histogram", name, "max_ms", fmt(s.max)});
+    csv.write_row({"histogram", name, "mean_ms", fmt(s.mean)});
+    csv.write_row({"histogram", name, "p50_ms", fmt(s.p50)});
+    csv.write_row({"histogram", name, "p95_ms", fmt(s.p95)});
+    csv.write_row({"histogram", name, "p99_ms", fmt(s.p99)});
+    for (std::size_t i = 0; i < hist.bucket_counts.size(); ++i) {
+      if (hist.bucket_counts[i] == 0) continue;
+      csv.write_row({"histogram", name, "bucket_le_" + fmt(hist.bucket_bounds[i]),
+                     fmt(hist.bucket_counts[i])});
+    }
+  }
+  return true;
+}
+
+bool write_spans_csv(const std::string& path,
+                     const std::vector<SpanRecord>& spans) {
+  if (path.empty()) return false;
+  CsvWriter csv;
+  try {
+    csv = CsvWriter(path);
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  csv.write_header({"name", "thread", "start_ms", "duration_ms"});
+  for (const SpanRecord& span : spans) {
+    csv.write_row({span.name, std::to_string(span.thread), fmt(span.start_ms),
+                   fmt(span.duration_ms)});
+  }
+  return true;
+}
+
+}  // namespace repflow::obs

@@ -1,0 +1,31 @@
+// CSV export of a metrics snapshot (long format) and a span timeline,
+// reusing the RFC-4180 writer from support/csv so the files drop straight
+// into the same plotting pipelines as the bench CSV mirrors.
+//
+// Metrics file: kind,name,field,value — one row per scalar
+//   counter,<name>,value,<n>
+//   gauge,<name>,value,<x>
+//   histogram,<name>,count|sum_ms|min_ms|max_ms|mean_ms|p50_ms|p95_ms|p99_ms,<x>
+//   histogram,<name>,bucket_le_<bound>,<n>      (non-empty buckets only)
+//
+// Span file: name,thread,start_ms,duration_ms — one row per span.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace repflow::obs {
+
+/// Write the snapshot in long format; returns false if the file cannot be
+/// opened.
+bool write_metrics_csv(const std::string& path,
+                       const MetricsSnapshot& snapshot);
+
+/// Write the span timeline; returns false if the file cannot be opened.
+bool write_spans_csv(const std::string& path,
+                     const std::vector<SpanRecord>& spans);
+
+}  // namespace repflow::obs

@@ -1,0 +1,126 @@
+#include "obs/export_json.h"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace repflow::obs {
+
+namespace {
+
+void write_escaped(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_number(std::ostream& out, double value) {
+  if (std::isfinite(value)) {
+    out << value;
+  } else {
+    out << "null";  // infinity (overflow bucket bound) has no JSON spelling
+  }
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot,
+                        const std::vector<SpanRecord>& spans) {
+  out.precision(9);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_escaped(out, name);
+    out << ": " << value;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_escaped(out, name);
+    out << ": ";
+    write_number(out, value);
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_escaped(out, name);
+    const HistogramSummary& s = hist.summary;
+    out << ": {\"count\": " << s.count << ", \"sum_ms\": ";
+    write_number(out, s.sum);
+    out << ", \"min_ms\": ";
+    write_number(out, s.min);
+    out << ", \"max_ms\": ";
+    write_number(out, s.max);
+    out << ", \"mean_ms\": ";
+    write_number(out, s.mean);
+    out << ", \"p50_ms\": ";
+    write_number(out, s.p50);
+    out << ", \"p95_ms\": ";
+    write_number(out, s.p95);
+    out << ", \"p99_ms\": ";
+    write_number(out, s.p99);
+    out << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < hist.bucket_counts.size(); ++i) {
+      if (hist.bucket_counts[i] == 0) continue;
+      out << (first_bucket ? "" : ", ") << "{\"le_ms\": ";
+      first_bucket = false;
+      write_number(out, hist.bucket_bounds[i]);
+      out << ", \"count\": " << hist.bucket_counts[i] << "}";
+    }
+    out << "]}";
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"spans\": [";
+  first = true;
+  for (const SpanRecord& span : spans) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    out << "{\"name\": ";
+    write_escaped(out, span.name);
+    out << ", \"thread\": " << span.thread << ", \"start_ms\": ";
+    write_number(out, span.start_ms);
+    out << ", \"duration_ms\": ";
+    write_number(out, span.duration_ms);
+    out << "}";
+  }
+  out << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+std::string metrics_json_string(const MetricsSnapshot& snapshot,
+                                const std::vector<SpanRecord>& spans) {
+  std::ostringstream os;
+  write_metrics_json(os, snapshot, spans);
+  return os.str();
+}
+
+bool dump_global_metrics_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_metrics_json(out, Registry::global().snapshot(),
+                     Tracer::global().spans());
+  return out.good();
+}
+
+}  // namespace repflow::obs

@@ -1,0 +1,38 @@
+// JSON export of a metrics snapshot plus an optional span timeline.
+//
+// Output shape (stable; consumed by bench sidecars and external tooling):
+//   {
+//     "counters":   { "name": 123, ... },
+//     "gauges":     { "name": 1.5, ... },
+//     "histograms": { "name": { "count":..., "sum_ms":..., "min_ms":...,
+//                               "max_ms":..., "mean_ms":..., "p50_ms":...,
+//                               "p95_ms":..., "p99_ms":...,
+//                               "buckets": [{"le_ms": bound|null,
+//                                            "count": n}, ...] } },
+//     "spans":      [ { "name":..., "thread":..., "start_ms":...,
+//                       "duration_ms":... }, ... ]
+//   }
+// The overflow bucket's bound is encoded as null (JSON has no infinity).
+// Zero-count histogram buckets are omitted to keep snapshots small.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace repflow::obs {
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot,
+                        const std::vector<SpanRecord>& spans = {});
+
+std::string metrics_json_string(const MetricsSnapshot& snapshot,
+                                const std::vector<SpanRecord>& spans = {});
+
+/// Snapshot the global registry + tracer and write them to `path`.
+/// Returns false (without throwing) if the file cannot be opened.
+bool dump_global_metrics_json(const std::string& path);
+
+}  // namespace repflow::obs

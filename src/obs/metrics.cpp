@@ -1,0 +1,167 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace repflow::obs {
+
+#if !defined(REPFLOW_OBS_DISABLED)
+
+namespace {
+
+/// Atomic max/min for doubles via CAS (std::atomic<double> has no fetch_max).
+void atomic_store_max(std::atomic<double>& slot, double value) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_store_min(std::atomic<double>& slot, double value) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+int bucket_index(double value_ms) {
+  if (!(value_ms > Histogram::kFirstBoundMs)) return 0;
+  // Bucket i (i >= 1) covers (kFirstBoundMs * 2^(i-1), kFirstBoundMs * 2^i]:
+  // the smallest i whose upper bound admits the value.
+  const int i = static_cast<int>(std::ceil(
+      std::log2(value_ms / Histogram::kFirstBoundMs) - 1e-9));
+  return std::clamp(i, 1, Histogram::kBucketCount - 1);
+}
+
+}  // namespace
+
+double Histogram::bucket_bound(int i) {
+  if (i >= kBucketCount - 1) return std::numeric_limits<double>::infinity();
+  return kFirstBoundMs * std::pow(2.0, i);
+}
+
+void Histogram::observe(double value_ms) {
+  buckets_[bucket_index(value_ms)].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seen = count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value_ms, std::memory_order_relaxed);
+  if (seen == 0) {
+    // First observation initializes min/max; racing observers fix it up via
+    // the CAS loops below, so the window only widens, never shrinks.
+    min_.store(value_ms, std::memory_order_relaxed);
+    max_.store(value_ms, std::memory_order_relaxed);
+  }
+  atomic_store_min(min_, value_ms);
+  atomic_store_max(max_, value_ms);
+}
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.mean = s.sum / static_cast<double>(s.count);
+
+  auto percentile = [&](double p) {
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(s.count)));
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < kBucketCount; ++i) {
+      cumulative += buckets_[i].load(std::memory_order_relaxed);
+      if (cumulative >= rank) {
+        // Clamp the open-ended top bucket to the observed max.
+        return std::min(bucket_bound(i), s.max);
+      }
+    }
+    return s.max;
+  };
+  s.p50 = percentile(0.50);
+  s.p95 = percentile(0.95);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.summary = hist->summary();
+    data.bucket_bounds.reserve(Histogram::kBucketCount);
+    data.bucket_counts.reserve(Histogram::kBucketCount);
+    for (int i = 0; i < Histogram::kBucketCount; ++i) {
+      data.bucket_bounds.push_back(Histogram::bucket_bound(i));
+      data.bucket_counts.push_back(hist->bucket_count(i));
+    }
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, hist] : histograms_) hist->reset();
+}
+
+#else
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+#endif  // REPFLOW_OBS_DISABLED
+
+}  // namespace repflow::obs

@@ -1,0 +1,204 @@
+// Zero-dependency metrics registry: monotonic counters, gauges, and
+// fixed-bucket latency histograms with estimated p50/p95/p99.
+//
+// Design constraints (docs/OBSERVABILITY.md has the full rationale):
+//  - Hot-path writes are a single relaxed atomic RMW; no locks, no
+//    allocation.  Handles are stable references — resolve once (at solver
+//    construction or via a function-local static), then increment freely.
+//  - The registry is process-global and additive across solver runs; per-run
+//    attribution stays in the existing value types (graph::FlowStats,
+//    core::SolveResult, core::StreamStats), which act as *views* over the
+//    same events.
+//  - Compiling with REPFLOW_OBS_DISABLED turns every recording call into an
+//    empty inline function (no atomics, no clock reads) while keeping all
+//    types and the snapshot/export API source-compatible.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repflow::obs {
+
+/// Order statistics of one histogram, estimated from its buckets (each
+/// percentile reports the upper bound of the bucket containing it, so the
+/// estimate errs high by at most one bucket width).
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Point-in-time copy of every registered metric (see Registry::snapshot).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  struct HistogramData {
+    HistogramSummary summary;
+    std::vector<double> bucket_bounds;   // upper bound of each bucket (ms)
+    std::vector<std::uint64_t> bucket_counts;
+  };
+  std::map<std::string, HistogramData> histograms;
+};
+
+#if !defined(REPFLOW_OBS_DISABLED)
+
+/// Monotonic counter.  add() is wait-free; value() is a relaxed load.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins gauge (a level, not an accumulation).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket latency histogram (milliseconds).  Buckets are geometric:
+/// bucket i covers (kFirstBoundMs * 2^(i-1), kFirstBoundMs * 2^i], with an
+/// underflow bucket below kFirstBoundMs and an overflow bucket at the top.
+/// observe() is two relaxed RMWs plus two CAS loops for min/max.
+class Histogram {
+ public:
+  static constexpr int kBucketCount = 28;       // 1us .. ~67s, then overflow
+  static constexpr double kFirstBoundMs = 1e-3; // 1 microsecond
+
+  void observe(double value_ms);
+  HistogramSummary summary() const;
+  void reset();
+
+  /// Upper bound of bucket `i` in ms (+inf for the overflow bucket).
+  static double bucket_bound(int i);
+  std::uint64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBucketCount] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Named metric registry.  Lookup takes a mutex; returned references stay
+/// valid for the registry's lifetime, so resolve handles once and cache them.
+class Registry {
+ public:
+  /// The process-wide registry used by the solvers and exporters.
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every metric's value.  Names and handles stay registered (and
+  /// valid); only the accumulated data is cleared.
+  void reset_values();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// RAII latency sample: observes the enclosing scope's wall time into a
+/// histogram.  Unlike ScopedSpan this is always on (two steady_clock reads);
+/// use it at run granularity, not per-operation.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& histogram)
+      : histogram_(histogram),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedLatency() {
+    histogram_.observe(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count());
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram& histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#else  // REPFLOW_OBS_DISABLED — every recording call compiles to nothing.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) {}
+  std::uint64_t value() const { return 0; }
+  void reset() {}
+};
+
+class Gauge {
+ public:
+  void set(double) {}
+  double value() const { return 0.0; }
+  void reset() {}
+};
+
+class Histogram {
+ public:
+  static constexpr int kBucketCount = 0;
+  static constexpr double kFirstBoundMs = 0.0;
+  void observe(double) {}
+  HistogramSummary summary() const { return {}; }
+  void reset() {}
+  static double bucket_bound(int) { return 0.0; }
+  std::uint64_t bucket_count(int) const { return 0; }
+};
+
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram&) {}
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+};
+
+class Registry {
+ public:
+  static Registry& global();
+  Counter& counter(std::string_view) { return counter_; }
+  Gauge& gauge(std::string_view) { return gauge_; }
+  Histogram& histogram(std::string_view) { return histogram_; }
+  MetricsSnapshot snapshot() const { return {}; }
+  void reset_values() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // REPFLOW_OBS_DISABLED
+
+}  // namespace repflow::obs

@@ -1,0 +1,109 @@
+// Lightweight phase tracing: RAII spans recording (name, thread, start,
+// duration) into a process-global sink.
+//
+// Tracing is *runtime-gated*: when the tracer is disabled (the default) a
+// ScopedSpan costs one relaxed atomic load — no clock reads, no lock.  When
+// enabled, each span costs two steady_clock reads plus one short mutex-held
+// vector append at destruction; span names must be string literals (or
+// otherwise outlive the tracer) because only the pointer is stored.
+//
+// Compiling with REPFLOW_OBS_DISABLED reduces ScopedSpan to an empty struct
+// and the tracer to inert stubs, proving hot paths carry zero residue.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace repflow::obs {
+
+/// One completed span.  Times are milliseconds since the tracer's epoch
+/// (construction or the last clear()).
+struct SpanRecord {
+  const char* name = "";
+  int thread = 0;       ///< small dense index, first-span-wins per thread
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+};
+
+#if !defined(REPFLOW_OBS_DISABLED)
+
+class Tracer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  static Tracer& global();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void record(const char* name, clock::time_point start,
+              clock::time_point end);
+
+  /// Copy of all spans recorded so far, in completion order.
+  std::vector<SpanRecord> spans() const;
+
+  /// Drop recorded spans and restart the epoch at now().
+  void clear();
+
+ private:
+  Tracer() : epoch_(clock::now()) {}
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  clock::time_point epoch_;
+  int next_thread_index_ = 0;
+};
+
+/// RAII span: times the enclosing scope under `name` when tracing is on.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(name), active_(Tracer::global().enabled()) {
+    if (active_) start_ = Tracer::clock::now();
+  }
+  ~ScopedSpan() {
+    if (active_) {
+      Tracer::global().record(name_, start_, Tracer::clock::now());
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  bool active_;
+  Tracer::clock::time_point start_{};
+};
+
+#else  // REPFLOW_OBS_DISABLED
+
+class Tracer {
+ public:
+  using clock = std::chrono::steady_clock;
+  static Tracer& global() {
+    static Tracer tracer;
+    return tracer;
+  }
+  void set_enabled(bool) {}
+  bool enabled() const { return false; }
+  void record(const char*, clock::time_point, clock::time_point) {}
+  std::vector<SpanRecord> spans() const { return {}; }
+  void clear() {}
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+#endif  // REPFLOW_OBS_DISABLED
+
+}  // namespace repflow::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace repflow::parallel {
@@ -17,10 +18,39 @@ namespace {
 thread_local int t_worker_index = 0;
 }  // namespace
 
+ParallelPushRelabel::RegistryHandles
+ParallelPushRelabel::RegistryHandles::make(int threads) {
+  auto& reg = obs::Registry::global();
+  RegistryHandles handles{
+      reg.counter("parallel.pushes"),
+      reg.counter("parallel.relabels"),
+      reg.counter("parallel.discharges"),
+      reg.counter("parallel.queue_yields"),
+      reg.counter("parallel.resumes"),
+      reg.gauge("parallel.last_run_queue_yields"),
+      {},
+      {},
+      {},
+      {}};
+  for (int t = 0; t < threads; ++t) {
+    const std::string prefix = "parallel.thread" + std::to_string(t);
+    handles.thread_pushes.push_back(&reg.counter(prefix + ".pushes"));
+    handles.thread_relabels.push_back(&reg.counter(prefix + ".relabels"));
+    handles.thread_discharges.push_back(&reg.counter(prefix + ".discharges"));
+    handles.thread_queue_yields.push_back(
+        &reg.counter(prefix + ".queue_yields"));
+  }
+  return handles;
+}
+
 ParallelPushRelabel::ParallelPushRelabel(graph::FlowNetwork& net,
                                          Vertex source, Vertex sink,
                                          int threads)
-    : net_(net), source_(source), sink_(sink), threads_(threads) {
+    : net_(net),
+      source_(source),
+      sink_(sink),
+      threads_(threads),
+      registry_(RegistryHandles::make(threads)) {
   if (threads < 1) {
     throw std::invalid_argument("ParallelPushRelabel: threads < 1");
   }
@@ -50,6 +80,7 @@ ParallelPushRelabel::ParallelPushRelabel(graph::FlowNetwork& net,
   queued_ = std::vector<std::atomic<bool>>(n);
   queue_ = std::make_unique<MpmcQueue<Vertex>>(2 * n + 4);
   counters_.resize(static_cast<std::size_t>(threads));
+  cumulative_.resize(static_cast<std::size_t>(threads));
   if (threads_ > 1) {
     pool_.reserve(static_cast<std::size_t>(threads_));
     for (int t = 0; t < threads_; ++t) {
@@ -65,6 +96,7 @@ ParallelPushRelabel::~ParallelPushRelabel() {
   }
   pool_cv_.notify_all();
   for (auto& th : pool_) th.join();
+  graph::publish_flow_stats(stats_);
 }
 
 void ParallelPushRelabel::pool_entry(int index) {
@@ -262,10 +294,13 @@ bool ParallelPushRelabel::maybe_global_relabel() {
 
 void ParallelPushRelabel::worker() {
   const auto n = static_cast<std::int32_t>(net_.num_vertices());
+  ThreadCounters& counters =
+      counters_[static_cast<std::size_t>(t_worker_index)];
   Vertex v;
   for (;;) {
     if (maybe_global_relabel()) continue;
     if (queue_->try_pop(v)) {
+      ++counters.discharges;
       discharge(v);
       queued_[v].store(false, std::memory_order_release);
       // Re-arm if excess arrived between the last drain and the flag clear.
@@ -281,6 +316,8 @@ void ParallelPushRelabel::worker() {
         gr_exited_.fetch_add(1, std::memory_order_acq_rel);
         return;
       }
+      // Starved: another thread owns every active vertex.
+      ++counters.queue_yields;
       std::this_thread::yield();
     }
   }
@@ -404,10 +441,27 @@ Cap ParallelPushRelabel::resume() {
 
   drain_stranded_excess();
 
-  for (const ThreadCounters& c : counters_) {
+  std::uint64_t run_yields = 0;
+  for (std::size_t t = 0; t < counters_.size(); ++t) {
+    const ThreadCounters& c = counters_[t];
     stats_.pushes += c.pushes;
     stats_.relabels += c.relabels;
+    cumulative_[t].pushes += c.pushes;
+    cumulative_[t].relabels += c.relabels;
+    cumulative_[t].discharges += c.discharges;
+    cumulative_[t].queue_yields += c.queue_yields;
+    registry_.pushes.add(c.pushes);
+    registry_.relabels.add(c.relabels);
+    registry_.discharges.add(c.discharges);
+    registry_.queue_yields.add(c.queue_yields);
+    registry_.thread_pushes[t]->add(c.pushes);
+    registry_.thread_relabels[t]->add(c.relabels);
+    registry_.thread_discharges[t]->add(c.discharges);
+    registry_.thread_queue_yields[t]->add(c.queue_yields);
+    run_yields += c.queue_yields;
   }
+  registry_.resumes.add(1);
+  registry_.contention.set(static_cast<double>(run_yields));
   std::fill(counters_.begin(), counters_.end(), ThreadCounters{});
 
   copy_out();

@@ -28,12 +28,24 @@
 #include <vector>
 
 #include "graph/maxflow.h"
+#include "obs/metrics.h"
 #include "parallel/mpmc_queue.h"
 
 namespace repflow::parallel {
 
 class ParallelPushRelabel {
  public:
+  /// Per-worker operation counters (each slot written by one thread only).
+  /// `queue_yields` counts scheduler yields while the work queue was empty
+  /// but other threads still held active vertices — the engine's contention
+  /// signal.
+  struct ThreadCounters {
+    std::uint64_t pushes = 0;
+    std::uint64_t relabels = 0;
+    std::uint64_t discharges = 0;
+    std::uint64_t queue_yields = 0;
+  };
+
   ParallelPushRelabel(graph::FlowNetwork& net, graph::Vertex source,
                       graph::Vertex sink, int threads);
   ~ParallelPushRelabel();
@@ -51,6 +63,12 @@ class ParallelPushRelabel {
   void reset_excess_after_restore(graph::Cap sink_excess);
 
   const graph::FlowStats& stats() const { return stats_; }
+
+  /// Cumulative per-thread counters over every resume() so far (index =
+  /// worker thread; single-threaded runs use slot 0).
+  const std::vector<ThreadCounters>& per_thread_counters() const {
+    return cumulative_;
+  }
 
   int threads() const { return threads_; }
 
@@ -99,12 +117,27 @@ class ParallelPushRelabel {
   std::atomic<std::uint64_t> relabels_since_gr_{0};
   std::uint64_t gr_threshold_ = 0;
 
-  // Per-thread operation counters folded into stats_ after each run.
-  struct ThreadCounters {
-    std::uint64_t pushes = 0;
-    std::uint64_t relabels = 0;
-  };
+  // Per-run operation counters folded into stats_, cumulative_, and the
+  // obs registry after each run.
   std::vector<ThreadCounters> counters_;
+  std::vector<ThreadCounters> cumulative_;
+
+  // Registry handles resolved once at construction (lookup is mutex-guarded;
+  // the fold in resume() must not be).
+  struct RegistryHandles {
+    static RegistryHandles make(int threads);
+    obs::Counter& pushes;
+    obs::Counter& relabels;
+    obs::Counter& discharges;
+    obs::Counter& queue_yields;
+    obs::Counter& resumes;
+    obs::Gauge& contention;
+    std::vector<obs::Counter*> thread_pushes;
+    std::vector<obs::Counter*> thread_relabels;
+    std::vector<obs::Counter*> thread_discharges;
+    std::vector<obs::Counter*> thread_queue_yields;
+  };
+  RegistryHandles registry_;
 
   // Persistent worker pool (only used when threads_ > 1).
   void pool_entry(int index);

@@ -16,8 +16,13 @@ class StopWatch {
  public:
   using clock = std::chrono::steady_clock;
 
+  /// Begin (or restart) an interval.  Calling start() while already running
+  /// folds the in-flight interval into the total instead of discarding it,
+  /// so lap-style `start(); work; start(); ...; stop()` loses no time.
   void start() {
-    start_ = clock::now();
+    const auto now = clock::now();
+    if (running_) accumulated_ += now - start_;
+    start_ = now;
     running_ = true;
   }
 

@@ -2,6 +2,10 @@
 // exhaustive brute-force oracle, the query-stream scheduler, and trace I/O.
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <set>
+#include <string>
+
 #include "core/brute_force.h"
 #include "core/reference.h"
 #include "core/simulator.h"
@@ -232,6 +236,69 @@ TEST(Trace, RejectsMalformedInput) {
                    "trace v1\nsystem 1 1\ndisk 0 M 1 0 0\nquery 0 2\n"
                    "bucket 0 0\n"),
                std::runtime_error);  // incomplete query
+}
+
+// Every parse error names the offending 1-based line.
+void expect_trace_error(const std::string& text, const std::string& line_tag,
+                        const std::string& why_fragment) {
+  try {
+    read_trace_string(text);
+    FAIL() << "expected std::runtime_error for: " << why_fragment;
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("read_trace: " + line_tag), std::string::npos)
+        << what;
+    EXPECT_NE(what.find(why_fragment), std::string::npos) << what;
+  }
+}
+
+TEST(Trace, MalformedInputErrorsCarryLineNumbers) {
+  expect_trace_error("nope\n", "line 1", "missing 'trace v1' header");
+  // Truncated header: EOF before any content line.
+  expect_trace_error("", "line 1", "missing 'trace v1' header");
+  expect_trace_error("trace v1\n", "line 2", "missing system line");
+  // Disk count mismatch reports both sides of the disagreement.
+  expect_trace_error("trace v1\nsystem 1 2\ndisk 0 M 1 0 0\n", "line 4",
+                     "disk count mismatch: saw 1 disk lines, system declares "
+                     "2");
+  expect_trace_error(
+      "trace v1\nsystem 1 1\ndisk 0 M 1 0 0\nquery 0 1\nbucket 0\n", "line 5",
+      "bucket without replicas");
+  expect_trace_error(
+      "trace v1\nsystem 1 1\ndisk 0 M 1 0 0\nquery 0 1\nbucket 0 3\n",
+      "line 5", "replica disk out of range");
+  expect_trace_error("trace v1\nsystem 1 1\ndisk 0 M 1 0 0\nbucket 0 0\n",
+                     "line 4", "bucket outside query");
+  expect_trace_error(
+      "trace v1\nsystem 1 1\ndisk 0 M 1 0 0\nquery 0 2\nbucket 0 0\n",
+      "line 6", "trailing incomplete query: 1 bucket line(s) missing");
+  expect_trace_error("trace v1\nsystem 1 1\ndisk 0 M 1 0 0\nwhat 1 2\n",
+                     "line 4", "unknown line kind 'what'");
+}
+
+TEST(Solver, NameAndIdCoverEveryKind) {
+  const SolverKind kinds[] = {
+      SolverKind::kFordFulkersonBasic,   SolverKind::kFordFulkersonIncremental,
+      SolverKind::kPushRelabelIncremental, SolverKind::kPushRelabelBinary,
+      SolverKind::kBlackBoxBinary,       SolverKind::kParallelPushRelabelBinary,
+  };
+  std::set<std::string> names;
+  std::set<std::string> ids;
+  for (SolverKind kind : kinds) {
+    const char* name = solver_name(kind);
+    const char* id = solver_id(kind);
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(id, nullptr);
+    EXPECT_FALSE(std::string(name).empty());
+    EXPECT_FALSE(std::string(id).empty());
+    names.insert(name);
+    ids.insert(id);
+  }
+  // Labels are distinct per enumerator (catch copy-paste in the switch).
+  EXPECT_EQ(names.size(), std::size(kinds));
+  EXPECT_EQ(ids.size(), std::size(kinds));
+  EXPECT_TRUE(ids.contains("alg6"));
+  EXPECT_TRUE(ids.contains("blackbox"));
 }
 
 TEST(Trace, ProblemIndexOutOfRange) {

@@ -285,5 +285,20 @@ TEST(StopWatch, AccumulatesIntervals) {
   EXPECT_EQ(sw.elapsed_ms(), 0.0);
 }
 
+TEST(StopWatch, DoubleStartKeepsInFlightInterval) {
+  // start() while running folds the elapsed interval into the accumulator
+  // instead of silently discarding it.
+  StopWatch sw;
+  sw.start();
+  volatile double sink = 0;
+  for (int i = 0; i < 200000; ++i) sink += i;
+  const double mid = sw.elapsed_ms();
+  EXPECT_GT(mid, 0.0);
+  sw.start();  // restart without stop(): prior interval must survive
+  for (int i = 0; i < 200000; ++i) sink += i;
+  sw.stop();
+  EXPECT_GT(sw.elapsed_ms(), mid);
+}
+
 }  // namespace
 }  // namespace repflow
