@@ -118,6 +118,10 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  // stream_throughput drives QueryStreamScheduler directly rather than via
+  // sweep_n(), so the metrics sidecar (workspace.reuse_hits / rebuilds /
+  // retained_bytes among others) must be flushed explicitly.
+  bench::maybe_write_metrics_sidecar(config);
   std::printf(
       "\nshape to expect: at low pressure both policies are close (empty "
       "disks);\nas interarrival shrinks, the naive policy's imbalance "

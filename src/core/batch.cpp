@@ -1,52 +1,106 @@
 #include "core/batch.h"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
 
 namespace repflow::core {
+
+BatchSolver::BatchSolver(BatchOptions options) : options_(options) {
+  if (options_.threads < 1 || options_.solver_threads < 1) {
+    throw std::invalid_argument("BatchSolver: bad thread counts");
+  }
+  pools_.reserve(static_cast<std::size_t>(options_.threads));
+  for (int t = 0; t < options_.threads; ++t) {
+    pools_.push_back(std::make_unique<SolverPool>(options_.solver_threads));
+  }
+  if (options_.threads > 1) {
+    workers_.reserve(static_cast<std::size_t>(options_.threads));
+    for (int t = 0; t < options_.threads; ++t) {
+      workers_.emplace_back([this, t] { worker_entry(t); });
+    }
+  }
+}
+
+BatchSolver::~BatchSolver() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    shutdown_ = true;
+  }
+  pool_cv_.notify_all();
+  for (auto& th : workers_) th.join();
+}
+
+void BatchSolver::worker_entry(int index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pool_mutex_);
+      pool_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    drain(index);
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      if (--workers_running_ == 0) pool_cv_.notify_all();
+    }
+  }
+}
+
+void BatchSolver::drain(int index) {
+  SolverPool& pool = *pools_[static_cast<std::size_t>(index)];
+  for (;;) {
+    const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= problems_->size()) return;
+    try {
+      pool.solve_into((*problems_)[i], options_.solver, (*results_)[i]);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+      return;
+    }
+  }
+}
+
+void BatchSolver::solve_into(const std::vector<RetrievalProblem>& problems,
+                             std::vector<SolveResult>& results) {
+  results.resize(problems.size());
+  problems_ = &problems;
+  results_ = &results;
+  cursor_.store(0, std::memory_order_relaxed);
+  first_error_ = nullptr;
+
+  if (options_.threads == 1 || problems.size() <= 1) {
+    drain(0);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      workers_running_ = options_.threads;
+      ++generation_;
+    }
+    pool_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(pool_mutex_);
+    pool_cv_.wait(lock, [&] { return workers_running_ == 0; });
+  }
+
+  problems_ = nullptr;
+  results_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+std::vector<SolveResult> BatchSolver::solve(
+    const std::vector<RetrievalProblem>& problems) {
+  std::vector<SolveResult> results;
+  solve_into(problems, results);
+  return results;
+}
 
 std::vector<SolveResult> solve_batch(
     const std::vector<RetrievalProblem>& problems,
     const BatchOptions& options) {
-  if (options.threads < 1 || options.solver_threads < 1) {
-    throw std::invalid_argument("solve_batch: bad thread counts");
-  }
-  std::vector<SolveResult> results(problems.size());
-  std::atomic<std::size_t> cursor{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  auto work = [&] {
-    for (;;) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= problems.size()) return;
-      try {
-        results[i] =
-            solve(problems[i], options.solver, options.solver_threads);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        return;
-      }
-    }
-  };
-
-  if (options.threads == 1 || problems.size() <= 1) {
-    work();
-  } else {
-    std::vector<std::thread> pool;
-    const int workers = static_cast<int>(
-        std::min<std::size_t>(problems.size(),
-                              static_cast<std::size_t>(options.threads)));
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int t = 0; t < workers; ++t) pool.emplace_back(work);
-    for (auto& th : pool) th.join();
-  }
-  if (first_error) std::rethrow_exception(first_error);
-  return results;
+  BatchSolver batch(options);
+  return batch.solve(problems);
 }
 
 }  // namespace repflow::core

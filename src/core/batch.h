@@ -1,5 +1,5 @@
 // Inter-query parallelism: solve a batch of retrieval problems across a
-// thread pool, one solver instance per worker.
+// thread pool, one solver pool per worker.
 //
 // Section V parallelizes *within* one max-flow (intra-query).  Storage
 // arrays also face the embarrassingly parallel case of many independent
@@ -7,11 +7,18 @@
 // benches compare intra- vs inter-query parallelism on the same workload.
 #pragma once
 
-#include <functional>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/problem.h"
-#include "core/solve.h"
+#include "core/solver.h"
+#include "core/solver_pool.h"
 
 namespace repflow::core {
 
@@ -22,9 +29,60 @@ struct BatchOptions {
   int solver_threads = 1;
 };
 
-/// Solve all problems; results are returned in input order.  Problems are
-/// distributed dynamically (an atomic cursor), so skewed query sizes load-
-/// balance.  Throws whatever a solver throws (first error wins).
+/// Reusable batch executor: worker threads and their per-worker SolverPools
+/// persist across solve() calls, so consecutive batches reuse every solver
+/// shell instead of reconstructing them per batch.  Problems are
+/// distributed dynamically (an atomic cursor), so skewed query sizes
+/// load-balance.  Throws whatever a solver throws (first error wins).
+class BatchSolver {
+ public:
+  explicit BatchSolver(BatchOptions options = {});
+  ~BatchSolver();
+
+  BatchSolver(const BatchSolver&) = delete;
+  BatchSolver& operator=(const BatchSolver&) = delete;
+
+  /// Solve all problems into `results` (resized to match; reusing the same
+  /// vector across batches keeps each slot's schedule capacity).  Results
+  /// are in input order.
+  void solve_into(const std::vector<RetrievalProblem>& problems,
+                  std::vector<SolveResult>& results);
+
+  /// Convenience wrapper returning a fresh result vector.
+  std::vector<SolveResult> solve(
+      const std::vector<RetrievalProblem>& problems);
+
+  const BatchOptions& options() const { return options_; }
+
+ private:
+  void worker_entry(int index);
+  /// Drain the shared cursor using worker `index`'s pool.
+  void drain(int index);
+
+  BatchOptions options_;
+  // One pool per worker (pools are single-threaded by design); unique_ptr
+  // because SolverPool is neither copyable nor movable.
+  std::vector<std::unique_ptr<SolverPool>> pools_;
+
+  // Per-batch shared state (set by solve_into before waking the workers).
+  const std::vector<RetrievalProblem>* problems_ = nullptr;
+  std::vector<SolveResult>* results_ = nullptr;
+  std::atomic<std::size_t> cursor_{0};
+  std::exception_ptr first_error_;
+  std::mutex error_mutex_;
+
+  // Persistent worker pool (only used when options_.threads > 1), same
+  // generation handoff as the parallel engine's pool.
+  std::vector<std::thread> workers_;
+  std::mutex pool_mutex_;
+  std::condition_variable pool_cv_;
+  std::uint64_t generation_ = 0;
+  int workers_running_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Solve all problems with a one-shot BatchSolver; results are returned in
+/// input order.
 std::vector<SolveResult> solve_batch(
     const std::vector<RetrievalProblem>& problems,
     const BatchOptions& options = {});

@@ -1,7 +1,7 @@
 #include "core/black_box.h"
 
-#include "graph/dinic.h"
-#include "graph/ford_fulkerson.h"
+#include <stdexcept>
+
 #include "obs/span.h"
 
 namespace repflow::core {
@@ -9,35 +9,26 @@ namespace repflow::core {
 BlackBoxBinarySolver::BlackBoxBinarySolver(const RetrievalProblem& problem,
                                            BlackBoxEngine engine,
                                            graph::PushRelabelOptions pr_options)
-    : problem_(problem),
-      network_(problem),
-      engine_(engine),
-      pr_options_(pr_options) {}
+    : bound_problem_(&problem), engine_(engine), pr_options_(pr_options) {}
 
 graph::Cap BlackBoxBinarySolver::run_probe(SolveResult& result) {
   // Each probe is a full from-zero max-flow — the cost the integrated
   // algorithms avoid; the span makes that visible in the timeline.
   obs::ScopedSpan span("blackbox.maxflow_run");
-  auto& net = network_.net();
   ++result.maxflow_runs;
   switch (engine_) {
     case BlackBoxEngine::kPushRelabel: {
-      graph::PushRelabel solver(net, network_.source(), network_.sink(),
-                                pr_options_);
-      auto r = solver.solve_from_zero();
+      auto r = pr_->solve_from_zero();
       result.flow_stats += r.stats;
       return r.value;
     }
     case BlackBoxEngine::kFordFulkerson: {
-      graph::FordFulkerson solver(net, network_.source(), network_.sink(),
-                                  graph::SearchOrder::kBfs);
-      auto r = solver.solve_from_zero();
+      auto r = ff_->solve_from_zero();
       result.flow_stats += r.stats;
       return r.value;
     }
     case BlackBoxEngine::kDinic: {
-      graph::Dinic solver(net, network_.source(), network_.sink());
-      auto r = solver.solve_from_zero();
+      auto r = dinic_->solve_from_zero();
       result.flow_stats += r.stats;
       return r.value;
     }
@@ -46,10 +37,39 @@ graph::Cap BlackBoxBinarySolver::run_probe(SolveResult& result) {
 }
 
 SolveResult BlackBoxBinarySolver::solve() {
+  if (bound_problem_ == nullptr) {
+    throw std::logic_error(
+        "BlackBoxBinarySolver::solve: no bound problem; use solve_into");
+  }
   SolveResult result;
-  const std::int64_t q = problem_.query_size();
+  solve_into(*bound_problem_, result);
+  return result;
+}
 
-  TimeBounds bounds = compute_time_bounds(problem_);
+void BlackBoxBinarySolver::solve_into(const RetrievalProblem& problem,
+                                      SolveResult& result) {
+  result.clear();
+  network_.rebuild(problem);
+  auto& net = network_.net();
+  const std::int64_t q = problem.query_size();
+  const graph::Vertex s = network_.source();
+  const graph::Vertex t = network_.sink();
+  switch (engine_) {
+    case BlackBoxEngine::kPushRelabel:
+      if (!pr_) pr_.emplace(net, s, t, pr_options_, &workspace_);
+      else pr_->rebind(s, t);
+      break;
+    case BlackBoxEngine::kFordFulkerson:
+      if (!ff_) ff_.emplace(net, s, t, graph::SearchOrder::kBfs, &workspace_);
+      else ff_->rebind(s, t);
+      break;
+    case BlackBoxEngine::kDinic:
+      if (!dinic_) dinic_.emplace(net, s, t, &workspace_);
+      else dinic_->rebind(s, t);
+      break;
+  }
+
+  TimeBounds bounds = compute_time_bounds(problem);
   double tmin = bounds.tmin;
   double tmax = bounds.tmax;
 
@@ -70,18 +90,21 @@ SolveResult BlackBoxBinarySolver::solve() {
   // Final incrementation from caps(tmin), again re-solving from zero after
   // every capacity bump — the cost the integrated algorithm eliminates.
   network_.set_capacities_for_time(tmin);
-  CapacityIncrementer incrementer(network_);
+  incrementer_.rebind(network_);
   graph::Cap reached = 0;
   do {
     obs::ScopedSpan step("blackbox.capacity_step");
-    incrementer.increment_min_cost();
+    incrementer_.increment_min_cost();
     reached = run_probe(result);
   } while (reached != q);
 
-  result.capacity_steps = incrementer.steps();
-  result.schedule = extract_schedule(network_);
-  result.response_time_ms = result.schedule.response_time(problem_.system);
-  return result;
+  result.capacity_steps = incrementer_.steps();
+  extract_schedule_into(network_, result.schedule);
+  result.response_time_ms = result.schedule.response_time(problem.system);
+}
+
+std::size_t BlackBoxBinarySolver::retained_bytes() const {
+  return network_.retained_bytes() + workspace_.retained_bytes();
 }
 
 }  // namespace repflow::core

@@ -5,9 +5,13 @@
 // the paper's "bb/int" ratio figures (7, 8, 9) compare against.
 #pragma once
 
+#include <optional>
+
 #include "core/increment.h"
 #include "core/network.h"
 #include "core/solver.h"
+#include "graph/dinic.h"
+#include "graph/ford_fulkerson.h"
 #include "graph/push_relabel.h"
 
 namespace repflow::core {
@@ -22,23 +26,45 @@ enum class BlackBoxEngine {
 
 class BlackBoxBinarySolver {
  public:
+  /// Reusable shell: construct once, serve many problems via solve_into().
+  explicit BlackBoxBinarySolver(
+      BlackBoxEngine engine = BlackBoxEngine::kPushRelabel,
+      graph::PushRelabelOptions pr_options = {})
+      : engine_(engine), pr_options_(pr_options) {}
+
+  /// One-problem convenience binding (the original API).
   explicit BlackBoxBinarySolver(
       const RetrievalProblem& problem,
       BlackBoxEngine engine = BlackBoxEngine::kPushRelabel,
       graph::PushRelabelOptions pr_options = {});
 
+  /// Solve the constructor-bound problem.
   SolveResult solve();
 
+  /// Rebuild internal state in place and solve `problem`; steady-state
+  /// calls on same-footprint problems perform zero heap allocations.
+  void solve_into(const RetrievalProblem& problem, SolveResult& result);
+
   const RetrievalNetwork& network() const { return network_; }
+
+  /// Retained working-memory footprint (network + engine workspace).
+  std::size_t retained_bytes() const;
 
  private:
   /// One from-zero max-flow run under the current capacities.
   graph::Cap run_probe(SolveResult& result);
 
-  const RetrievalProblem& problem_;
+  const RetrievalProblem* bound_problem_ = nullptr;
   RetrievalNetwork network_;
   BlackBoxEngine engine_;
   graph::PushRelabelOptions pr_options_;
+  CapacityIncrementer incrementer_;
+  graph::MaxflowWorkspace workspace_;
+  // Only the slot matching engine_ is ever engaged; it persists across
+  // solves (rebound in place) so probes reuse its working buffers.
+  std::optional<graph::PushRelabel> pr_;
+  std::optional<graph::FordFulkerson> ff_;
+  std::optional<graph::Dinic> dinic_;
 };
 
 }  // namespace repflow::core

@@ -23,7 +23,16 @@ class IntegratedEngine {
   /// Realign excess bookkeeping after the driver restored a flow snapshot.
   virtual void reset_excess_after_restore(graph::Cap sink_excess) = 0;
 
+  /// Re-target the engine after its network was rebuilt in place (the
+  /// FlowNetwork object is the same; topology and endpoints may differ).
+  /// Clears per-run state while retaining working-buffer capacity, so a
+  /// persistent engine serves successive problems without reallocating.
+  virtual void rebind(graph::Vertex source, graph::Vertex sink) = 0;
+
   virtual const graph::FlowStats& stats() const = 0;
+
+  /// Capacity-based estimate of the engine's retained working memory.
+  virtual std::size_t retained_bytes() const { return 0; }
 };
 
 /// Sequential engine: the paper's Algorithm 4/5 machinery.
@@ -31,14 +40,21 @@ class SequentialPushRelabelEngine final : public IntegratedEngine {
  public:
   SequentialPushRelabelEngine(graph::FlowNetwork& net, graph::Vertex source,
                               graph::Vertex sink,
-                              graph::PushRelabelOptions options = {})
-      : solver_(net, source, sink, options) {}
+                              graph::PushRelabelOptions options = {},
+                              graph::MaxflowWorkspace* workspace = nullptr)
+      : solver_(net, source, sink, options, workspace) {}
 
   graph::Cap resume() override { return solver_.resume(); }
   void reset_excess_after_restore(graph::Cap sink_excess) override {
     solver_.reset_excess_after_restore(sink_excess);
   }
+  void rebind(graph::Vertex source, graph::Vertex sink) override {
+    solver_.rebind(source, sink);
+  }
   const graph::FlowStats& stats() const override { return solver_.stats(); }
+  std::size_t retained_bytes() const override {
+    return solver_.workspace().retained_bytes();
+  }
 
  private:
   graph::PushRelabel solver_;

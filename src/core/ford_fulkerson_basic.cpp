@@ -2,28 +2,46 @@
 
 #include <stdexcept>
 
-#include "graph/ford_fulkerson.h"
 #include "obs/span.h"
 
 namespace repflow::core {
 
-FordFulkersonBasicSolver::FordFulkersonBasicSolver(
-    const RetrievalProblem& problem)
-    : problem_(problem), network_(problem) {
+namespace {
+void require_basic(const RetrievalProblem& problem) {
   if (!problem.system.is_basic()) {
     throw std::invalid_argument(
         "FordFulkersonBasicSolver: requires a basic (homogeneous, zero "
         "delay/load) system; use FordFulkersonIncrementalSolver");
   }
 }
+}  // namespace
+
+FordFulkersonBasicSolver::FordFulkersonBasicSolver(
+    const RetrievalProblem& problem)
+    : bound_problem_(&problem) {
+  require_basic(problem);
+}
 
 SolveResult FordFulkersonBasicSolver::solve() {
+  if (bound_problem_ == nullptr) {
+    throw std::logic_error(
+        "FordFulkersonBasicSolver::solve: no bound problem; use solve_into");
+  }
   SolveResult result;
+  solve_into(*bound_problem_, result);
+  return result;
+}
+
+void FordFulkersonBasicSolver::solve_into(const RetrievalProblem& problem,
+                                          SolveResult& result) {
+  require_basic(problem);
+  result.clear();
+  network_.rebuild(problem);
   auto& net = network_.net();
-  const std::int64_t q = problem_.query_size();
+  const std::int64_t q = problem.query_size();
 
   // Lines 1-2: uniform theoretical lower bound ceil(|Q|/N).
-  std::int64_t cap = basic_lower_bound_accesses(problem_);
+  std::int64_t cap = basic_lower_bound_accesses(problem);
   network_.set_uniform_capacities(cap);
 
   // The paper initializes all source-arc flows to 1 up front; each bucket's
@@ -33,13 +51,18 @@ SolveResult FordFulkersonBasicSolver::solve() {
     net.set_pair_flow(network_.source_arc(b), 1);
   }
 
-  graph::FordFulkerson engine(net, network_.source(), network_.sink(),
-                              graph::SearchOrder::kDfs);
+  if (!engine_) {
+    engine_.emplace(net, network_.source(), network_.sink(),
+                    graph::SearchOrder::kDfs, &workspace_);
+  } else {
+    engine_->rebind(network_.source(), network_.sink());
+  }
+  const graph::FlowStats stats_before = engine_->stats();
   for (std::int64_t b = 0; b < q; ++b) {
     // Lines 3-8: augment from this bucket; bump every sink capacity by one
     // whenever the residual graph has no bucket->sink path.
     obs::ScopedSpan span("alg1.augment");
-    while (engine.augment_once(network_.bucket_vertex(b)) == 0) {
+    while (engine_->augment_once(network_.bucket_vertex(b)) == 0) {
       obs::ScopedSpan step("alg1.capacity_step");
       ++cap;
       network_.set_uniform_capacities(cap);
@@ -47,10 +70,13 @@ SolveResult FordFulkersonBasicSolver::solve() {
     }
   }
 
-  result.flow_stats = engine.stats();
-  result.schedule = extract_schedule(network_);
-  result.response_time_ms = result.schedule.response_time(problem_.system);
-  return result;
+  result.flow_stats = engine_->stats() - stats_before;
+  extract_schedule_into(network_, result.schedule);
+  result.response_time_ms = result.schedule.response_time(problem.system);
+}
+
+std::size_t FordFulkersonBasicSolver::retained_bytes() const {
+  return network_.retained_bytes() + workspace_.retained_bytes();
 }
 
 }  // namespace repflow::core

@@ -1,55 +1,76 @@
 #include "core/ford_fulkerson_binary.h"
 
-#include "graph/ford_fulkerson.h"
+#include <stdexcept>
 
 namespace repflow::core {
 
 FordFulkersonBinarySolver::FordFulkersonBinarySolver(
     const RetrievalProblem& problem)
-    : problem_(problem), network_(problem) {}
+    : bound_problem_(&problem) {}
 
 SolveResult FordFulkersonBinarySolver::solve() {
+  if (bound_problem_ == nullptr) {
+    throw std::logic_error(
+        "FordFulkersonBinarySolver::solve: no bound problem; use solve_into");
+  }
   SolveResult result;
-  auto& net = network_.net();
-  const std::int64_t q = problem_.query_size();
-  graph::FordFulkerson engine(net, network_.source(), network_.sink(),
-                              graph::SearchOrder::kBfs);
+  solve_into(*bound_problem_, result);
+  return result;
+}
 
-  TimeBounds bounds = compute_time_bounds(problem_);
+void FordFulkersonBinarySolver::solve_into(const RetrievalProblem& problem,
+                                           SolveResult& result) {
+  result.clear();
+  network_.rebuild(problem);
+  auto& net = network_.net();
+  const std::int64_t q = problem.query_size();
+  if (!engine_) {
+    engine_.emplace(net, network_.source(), network_.sink(),
+                    graph::SearchOrder::kBfs, &workspace_);
+  } else {
+    engine_->rebind(network_.source(), network_.sink());
+  }
+  const graph::FlowStats stats_before = engine_->stats();
+
+  TimeBounds bounds = compute_time_bounds(problem);
   double tmin = bounds.tmin;
   double tmax = bounds.tmax;
-  std::vector<graph::Cap> saved_flows = net.save_flows();  // all-zero
+  net.save_flows_into(saved_flows_);  // all-zero
   graph::Cap reached = 0;
 
   while (tmax - tmin >= bounds.min_speed) {
     const double tmid = tmin + (tmax - tmin) * 0.5;
     network_.set_capacities_for_time(tmid);
-    reached += engine.run();  // augment from the conserved flow
+    reached += engine_->run();  // augment from the conserved flow
     ++result.binary_probes;
     if (reached != q) {
-      saved_flows = net.save_flows();
+      net.save_flows_into(saved_flows_);
       tmin = tmid;
     } else {
-      net.restore_flows(saved_flows);
+      net.restore_flows(saved_flows_);
       reached = net.flow_into(network_.sink());
       tmax = tmid;
     }
   }
 
-  net.restore_flows(saved_flows);
+  net.restore_flows(saved_flows_);
   reached = net.flow_into(network_.sink());
   network_.set_capacities_for_time(tmin);
-  CapacityIncrementer incrementer(network_);
+  incrementer_.rebind(network_);
   while (reached != q) {
-    incrementer.increment_min_cost();
-    reached += engine.run();
+    incrementer_.increment_min_cost();
+    reached += engine_->run();
   }
 
-  result.capacity_steps = incrementer.steps();
-  result.flow_stats = engine.stats();
-  result.schedule = extract_schedule(network_);
-  result.response_time_ms = result.schedule.response_time(problem_.system);
-  return result;
+  result.capacity_steps = incrementer_.steps();
+  result.flow_stats = engine_->stats() - stats_before;
+  extract_schedule_into(network_, result.schedule);
+  result.response_time_ms = result.schedule.response_time(problem.system);
+}
+
+std::size_t FordFulkersonBinarySolver::retained_bytes() const {
+  return network_.retained_bytes() + workspace_.retained_bytes() +
+         saved_flows_.capacity() * sizeof(graph::Cap);
 }
 
 }  // namespace repflow::core

@@ -1,44 +1,66 @@
 #include "core/ford_fulkerson_incremental.h"
 
-#include "graph/ford_fulkerson.h"
+#include <stdexcept>
+
 #include "obs/span.h"
 
 namespace repflow::core {
 
 FordFulkersonIncrementalSolver::FordFulkersonIncrementalSolver(
     const RetrievalProblem& problem)
-    : problem_(problem), network_(problem) {}
+    : bound_problem_(&problem) {}
 
 SolveResult FordFulkersonIncrementalSolver::solve() {
+  if (bound_problem_ == nullptr) {
+    throw std::logic_error(
+        "FordFulkersonIncrementalSolver::solve: no bound problem; use "
+        "solve_into");
+  }
   SolveResult result;
+  solve_into(*bound_problem_, result);
+  return result;
+}
+
+void FordFulkersonIncrementalSolver::solve_into(
+    const RetrievalProblem& problem, SolveResult& result) {
+  result.clear();
+  network_.rebuild(problem);
   auto& net = network_.net();
-  const std::int64_t q = problem_.query_size();
+  const std::int64_t q = problem.query_size();
 
   // Lines 1-2: capacities start at zero.
   network_.set_uniform_capacities(0);
-  CapacityIncrementer incrementer(network_);
+  incrementer_.rebind(network_);
 
   for (std::int64_t b = 0; b < q; ++b) {
     net.set_pair_flow(network_.source_arc(b), 1);
   }
 
-  graph::FordFulkerson engine(net, network_.source(), network_.sink(),
-                              graph::SearchOrder::kDfs);
+  if (!engine_) {
+    engine_.emplace(net, network_.source(), network_.sink(),
+                    graph::SearchOrder::kDfs, &workspace_);
+  } else {
+    engine_->rebind(network_.source(), network_.sink());
+  }
+  const graph::FlowStats stats_before = engine_->stats();
   for (std::int64_t b = 0; b < q; ++b) {
     // Lines 3-7: augment this bucket, admitting the cheapest next
     // completion slot whenever the residual graph has no path.
     obs::ScopedSpan span("alg2.augment");
-    while (engine.augment_once(network_.bucket_vertex(b)) == 0) {
+    while (engine_->augment_once(network_.bucket_vertex(b)) == 0) {
       obs::ScopedSpan step("alg2.capacity_step");
-      incrementer.increment_min_cost();
+      incrementer_.increment_min_cost();
     }
   }
 
-  result.capacity_steps = incrementer.steps();
-  result.flow_stats = engine.stats();
-  result.schedule = extract_schedule(network_);
-  result.response_time_ms = result.schedule.response_time(problem_.system);
-  return result;
+  result.capacity_steps = incrementer_.steps();
+  result.flow_stats = engine_->stats() - stats_before;
+  extract_schedule_into(network_, result.schedule);
+  result.response_time_ms = result.schedule.response_time(problem.system);
+}
+
+std::size_t FordFulkersonIncrementalSolver::retained_bytes() const {
+  return network_.retained_bytes() + workspace_.retained_bytes();
 }
 
 }  // namespace repflow::core

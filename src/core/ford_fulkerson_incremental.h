@@ -8,23 +8,41 @@
 // case O(c^2 * |Q|^2).
 #pragma once
 
+#include <optional>
+
 #include "core/increment.h"
 #include "core/network.h"
 #include "core/solver.h"
+#include "graph/ford_fulkerson.h"
 
 namespace repflow::core {
 
 class FordFulkersonIncrementalSolver {
  public:
+  /// Reusable shell: construct once, serve many problems via solve_into().
+  FordFulkersonIncrementalSolver() = default;
+
+  /// One-problem convenience binding (the original API).
   explicit FordFulkersonIncrementalSolver(const RetrievalProblem& problem);
 
+  /// Solve the constructor-bound problem.
   SolveResult solve();
+
+  /// Rebuild internal state in place and solve `problem`; steady-state
+  /// calls on same-footprint problems perform zero heap allocations.
+  void solve_into(const RetrievalProblem& problem, SolveResult& result);
 
   const RetrievalNetwork& network() const { return network_; }
 
+  /// Retained working-memory footprint (network + engine workspace).
+  std::size_t retained_bytes() const;
+
  private:
-  const RetrievalProblem& problem_;
+  const RetrievalProblem* bound_problem_ = nullptr;
   RetrievalNetwork network_;
+  CapacityIncrementer incrementer_;
+  graph::MaxflowWorkspace workspace_;
+  std::optional<graph::FordFulkerson> engine_;
 };
 
 }  // namespace repflow::core

@@ -13,16 +13,24 @@ namespace {
 constexpr double kCostEpsilon = 1e-9;
 }  // namespace
 
-CapacityIncrementer::CapacityIncrementer(RetrievalNetwork& network)
-    : network_(&network) {
+CapacityIncrementer::CapacityIncrementer(RetrievalNetwork& network) {
+  rebind(network);
+}
+
+void CapacityIncrementer::rebind(RetrievalNetwork& network) {
+  network_ = &network;
   const std::int32_t disks = network.problem().total_disks();
+  caps_.clear();
   caps_.reserve(static_cast<std::size_t>(disks));
+  live_.clear();
   for (DiskId d = 0; d < disks; ++d) {
     caps_.push_back(network.net().capacity(network.sink_arc(d)));
     // A disk already saturated by its in-degree never joins the live set
     // (Algorithm 3 lines 3-5 would delete it on the first step anyway).
     if (network.in_degree(d) > caps_.back()) live_.push_back(d);
   }
+  steps_ = 0;
+  total_increments_ = 0;
 }
 
 double CapacityIncrementer::increment_min_cost() {

@@ -17,9 +17,17 @@ namespace repflow::core {
 
 class CapacityIncrementer {
  public:
+  /// Empty shell; call rebind() before increment_min_cost().
+  CapacityIncrementer() = default;
+
   /// Captures the network's *current* sink capacities as the baseline (zero
   /// after construction of a fresh network; caps(tmin) in Algorithm 6).
   explicit CapacityIncrementer(RetrievalNetwork& network);
+
+  /// Re-capture `network`'s current sink capacities and reset the step
+  /// counters.  Internal vectors retain their capacity, so re-targeting a
+  /// same-footprint network performs no heap allocation.
+  void rebind(RetrievalNetwork& network);
 
   /// One IncrementMinCost step.  Returns the minimum next-completion cost
   /// (the candidate response time just admitted).  Throws std::logic_error
@@ -38,7 +46,7 @@ class CapacityIncrementer {
   }
 
  private:
-  RetrievalNetwork* network_;
+  RetrievalNetwork* network_ = nullptr;
   std::vector<DiskId> live_;       // disks whose sink arc is still in E
   std::vector<std::int64_t> caps_;  // mirror of sink-arc capacities
   std::int64_t steps_ = 0;

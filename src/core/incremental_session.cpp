@@ -20,20 +20,27 @@ IncrementalQuerySession::IncrementalQuerySession(
 
 void IncrementalQuerySession::reset() {
   const std::int32_t disks = system_.total_disks();
-  net_ = std::make_unique<graph::FlowNetwork>(
-      static_cast<graph::Vertex>(disks + 2));
+  net_.reset(static_cast<graph::Vertex>(disks + 2));
   source_ = 0;
   sink_ = 1;
   sink_arcs_.clear();
+  sink_arcs_.reserve(static_cast<std::size_t>(disks));
   for (DiskId d = 0; d < disks; ++d) {
     sink_arcs_.push_back(
-        net_->add_arc(static_cast<graph::Vertex>(2 + d), sink_, 0));
+        net_.add_arc(static_cast<graph::Vertex>(2 + d), sink_, 0));
   }
   caps_.assign(static_cast<std::size_t>(disks), 0);
   in_degree_.assign(static_cast<std::size_t>(disks), 0);
   replicas_.clear();
   bucket_vertex_.clear();
-  engine_ = std::make_unique<graph::PushRelabel>(*net_, source_, sink_);
+  // rebind() fully clears the engine's excess/queue state, which is what a
+  // fresh session needs (resume() relies on a clean start).
+  if (!engine_) {
+    engine_.emplace(net_, source_, sink_, graph::PushRelabelOptions{},
+                    &workspace_);
+  } else {
+    engine_->rebind(source_, sink_);
+  }
   clean_ = true;
   capacity_steps_ = 0;
 }
@@ -48,10 +55,10 @@ std::int64_t IncrementalQuerySession::add_bucket(
       throw std::invalid_argument("add_bucket: replica disk out of range");
     }
   }
-  const graph::Vertex v = net_->add_vertex();
-  net_->add_arc(source_, v, 1);
+  const graph::Vertex v = net_.add_vertex();
+  net_.add_arc(source_, v, 1);
   for (DiskId d : replicas) {
-    net_->add_arc(v, static_cast<graph::Vertex>(2 + d), 1);
+    net_.add_arc(v, static_cast<graph::Vertex>(2 + d), 1);
     ++in_degree_[d];
   }
   replicas_.push_back(replicas);
@@ -82,7 +89,7 @@ void IncrementalQuerySession::increment_min_cost() {
     if (in_degree_[d] <= caps_[static_cast<std::size_t>(d)]) continue;
     if (current_min_cost(d) <= min_cost + kCostEpsilon) {
       ++caps_[static_cast<std::size_t>(d)];
-      net_->set_capacity(sink_arcs_[d], caps_[static_cast<std::size_t>(d)]);
+      net_.set_capacity(sink_arcs_[d], caps_[static_cast<std::size_t>(d)]);
     }
   }
   ++capacity_steps_;
@@ -100,19 +107,25 @@ double IncrementalQuerySession::reoptimize() {
 }
 
 Schedule IncrementalQuerySession::schedule() const {
+  Schedule s;
+  schedule_into(s);
+  return s;
+}
+
+void IncrementalQuerySession::schedule_into(Schedule& s) const {
   if (!clean_) {
     throw std::logic_error(
         "IncrementalQuerySession::schedule: call reoptimize() first");
   }
-  Schedule s;
+  s.assigned_disk.clear();
   s.assigned_disk.reserve(replicas_.size());
   s.per_disk_count.assign(static_cast<std::size_t>(system_.total_disks()),
                           0);
   for (std::size_t b = 0; b < replicas_.size(); ++b) {
     DiskId assigned = -1;
-    for (graph::ArcId a : net_->out_arcs(bucket_vertex_[b])) {
-      if (!net_->is_forward(a) || net_->flow(a) <= 0) continue;
-      const graph::Vertex head = net_->head(a);
+    for (graph::ArcId a : net_.out_arcs(bucket_vertex_[b])) {
+      if (!net_.is_forward(a) || net_.flow(a) <= 0) continue;
+      const graph::Vertex head = net_.head(a);
       if (head == source_ || head == sink_) continue;
       assigned = static_cast<DiskId>(head - 2);
       break;
@@ -123,7 +136,13 @@ Schedule IncrementalQuerySession::schedule() const {
     s.assigned_disk.push_back(assigned);
     ++s.per_disk_count[static_cast<std::size_t>(assigned)];
   }
-  return s;
+}
+
+std::size_t IncrementalQuerySession::retained_bytes() const {
+  return net_.retained_bytes() + workspace_.retained_bytes() +
+         sink_arcs_.capacity() * sizeof(graph::ArcId) +
+         caps_.capacity() * sizeof(std::int64_t) +
+         in_degree_.capacity() * sizeof(std::int32_t);
 }
 
 }  // namespace repflow::core

@@ -17,13 +17,14 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/schedule.h"
 #include "core/solver.h"
 #include "graph/flow_network.h"
 #include "graph/push_relabel.h"
+#include "graph/workspace.h"
 #include "workload/disks.h"
 
 namespace repflow::core {
@@ -50,16 +51,26 @@ class IncrementalQuerySession {
   std::int64_t capacity_steps() const { return capacity_steps_; }
 
   /// Drop all buckets and flows (capacities reset to zero); the system
-  /// configuration is retained.
+  /// configuration is retained.  Rebuilds in place: the network, engine,
+  /// and workspace keep their buffers, so reset() + re-add allocates
+  /// nothing on same-footprint sessions.
   void reset();
+
+  /// Schedule of the last reoptimize() written into `out` (capacity-
+  /// reusing); throws if buckets were added since.
+  void schedule_into(Schedule& out) const;
+
+  /// Retained working-memory footprint (network + engine workspace).
+  std::size_t retained_bytes() const;
 
  private:
   double current_min_cost(DiskId d) const;
   void increment_min_cost();
 
   workload::SystemConfig system_;
-  std::unique_ptr<graph::FlowNetwork> net_;
-  std::unique_ptr<graph::PushRelabel> engine_;
+  graph::FlowNetwork net_;
+  graph::MaxflowWorkspace workspace_;
+  std::optional<graph::PushRelabel> engine_;
   graph::Vertex source_ = 0;
   graph::Vertex sink_ = 1;
   std::vector<graph::ArcId> sink_arcs_;       // per disk

@@ -4,13 +4,18 @@
 
 namespace repflow::core {
 
-RetrievalNetwork::RetrievalNetwork(const RetrievalProblem& problem)
-    : problem_(&problem) {
+RetrievalNetwork::RetrievalNetwork(const RetrievalProblem& problem) {
+  rebuild(problem);
+}
+
+void RetrievalNetwork::rebuild(const RetrievalProblem& problem) {
+  problem_ = &problem;
   const std::int64_t q = problem.query_size();
   const std::int32_t disks = problem.total_disks();
-  net_.add_vertices(static_cast<graph::Vertex>(q + disks + 2));
+  net_.reset(static_cast<graph::Vertex>(q + disks + 2));
   source_ = static_cast<graph::Vertex>(q + disks);
   sink_ = static_cast<graph::Vertex>(q + disks + 1);
+  source_arcs_.clear();
   source_arcs_.reserve(static_cast<std::size_t>(q));
   in_degree_.assign(static_cast<std::size_t>(disks), 0);
   for (std::int64_t b = 0; b < q; ++b) {
@@ -20,6 +25,7 @@ RetrievalNetwork::RetrievalNetwork(const RetrievalProblem& problem)
       ++in_degree_[d];
     }
   }
+  sink_arcs_.clear();
   sink_arcs_.reserve(static_cast<std::size_t>(disks));
   for (DiskId d = 0; d < disks; ++d) {
     sink_arcs_.push_back(net_.add_arc(disk_vertex(d), sink_, 0));
@@ -43,6 +49,13 @@ void RetrievalNetwork::set_capacities_for_time(double t) {
 
 void RetrievalNetwork::set_uniform_capacities(std::int64_t cap) {
   for (graph::ArcId a : sink_arcs_) net_.set_capacity(a, cap);
+}
+
+std::size_t RetrievalNetwork::retained_bytes() const {
+  return net_.retained_bytes() +
+         source_arcs_.capacity() * sizeof(graph::ArcId) +
+         sink_arcs_.capacity() * sizeof(graph::ArcId) +
+         in_degree_.capacity() * sizeof(std::int32_t);
 }
 
 std::vector<std::int64_t> RetrievalNetwork::sink_capacities() const {

@@ -14,7 +14,18 @@ namespace repflow::core {
 
 class RetrievalNetwork {
  public:
+  /// Empty shell; call rebuild() before any other member.
+  RetrievalNetwork() = default;
   explicit RetrievalNetwork(const RetrievalProblem& problem);
+
+  /// (Re)build the network for `problem` in place.  All internal buffers —
+  /// including the FlowNetwork's arc and CSR arrays — retain their capacity,
+  /// so rebuilding for a problem of the same (or smaller) footprint performs
+  /// no heap allocation.  `problem` must outlive the next rebuild.
+  void rebuild(const RetrievalProblem& problem);
+
+  /// True once rebuild() (or the problem constructor) has run.
+  bool built() const { return problem_ != nullptr; }
 
   graph::FlowNetwork& net() { return net_; }
   const graph::FlowNetwork& net() const { return net_; }
@@ -55,8 +66,11 @@ class RetrievalNetwork {
   /// Number of buckets retrieved from `disk` under the current flow.
   graph::Cap disk_flow(DiskId disk) const { return net_.flow(sink_arcs_[disk]); }
 
+  /// Capacity-based estimate of the retained heap footprint.
+  std::size_t retained_bytes() const;
+
  private:
-  const RetrievalProblem* problem_;
+  const RetrievalProblem* problem_ = nullptr;
   graph::FlowNetwork net_;
   graph::Vertex source_;
   graph::Vertex sink_;

@@ -1,5 +1,6 @@
 #include "core/push_relabel_binary.h"
 
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -15,24 +16,44 @@ EngineFactory sequential_engine_factory(graph::PushRelabelOptions options) {
   };
 }
 
+PushRelabelBinarySolver::PushRelabelBinarySolver(EngineFactory factory)
+    : factory_(std::move(factory)) {}
+
 PushRelabelBinarySolver::PushRelabelBinarySolver(
     const RetrievalProblem& problem, EngineFactory factory)
-    : problem_(problem), network_(problem), factory_(std::move(factory)) {}
+    : bound_problem_(&problem), factory_(std::move(factory)) {}
 
 SolveResult PushRelabelBinarySolver::solve() {
+  if (bound_problem_ == nullptr) {
+    throw std::logic_error(
+        "PushRelabelBinarySolver::solve: no bound problem; use solve_into");
+  }
   SolveResult result;
+  solve_into(*bound_problem_, result);
+  return result;
+}
+
+void PushRelabelBinarySolver::solve_into(const RetrievalProblem& problem,
+                                         SolveResult& result) {
+  result.clear();
+  network_.rebuild(problem);
   auto& net = network_.net();
-  const std::int64_t q = problem_.query_size();
-  auto engine = factory_(net, network_.source(), network_.sink());
+  const std::int64_t q = problem.query_size();
+  if (!engine_) {
+    engine_ = factory_(net, network_.source(), network_.sink());
+  } else {
+    engine_->rebind(network_.source(), network_.sink());
+  }
+  const graph::FlowStats stats_before = engine_->stats();
 
   // Phase 1: the search range (Algorithm 6 lines 1-11).
-  TimeBounds bounds = compute_time_bounds(problem_);
+  TimeBounds bounds = compute_time_bounds(problem);
   double tmin = bounds.tmin;
   double tmax = bounds.tmax;
 
   // Snapshot of the best (largest-tmin) *infeasible* flow state; valid for
   // every probe above its tmin because capacities are monotone in t.
-  std::vector<graph::Cap> saved_flows = net.save_flows();  // all-zero
+  net.save_flows_into(saved_flows_);  // all-zero
   graph::Cap saved_excess_t = 0;
 
   // Phase 2: binary capacity scaling (lines 12-37).
@@ -40,41 +61,46 @@ SolveResult PushRelabelBinarySolver::solve() {
     obs::ScopedSpan probe("alg6.probe");
     const double tmid = tmin + (tmax - tmin) * 0.5;
     network_.set_capacities_for_time(tmid);
-    const graph::Cap reached = engine->resume();
+    const graph::Cap reached = engine_->resume();
     ++result.binary_probes;
     if (reached != q) {
       // Infeasible: conserve this flow as the new baseline, shrink from
       // below (lines 30-33 with the paper's prose reading of the branch).
-      saved_flows = net.save_flows();
+      net.save_flows_into(saved_flows_);
       saved_excess_t = reached;
       tmin = tmid;
     } else {
       // Feasible: this flow may exceed caps(t) for the smaller t probed
       // next, so fall back to the last infeasible snapshot (lines 34-37).
-      net.restore_flows(saved_flows);
-      engine->reset_excess_after_restore(saved_excess_t);
+      net.restore_flows(saved_flows_);
+      engine_->reset_excess_after_restore(saved_excess_t);
       tmax = tmid;
     }
   }
 
   // Phase 3: restore, retune to caps(tmin), and finish incrementally
   // (lines 38-42 = Algorithm 5's loop).
-  net.restore_flows(saved_flows);
-  engine->reset_excess_after_restore(saved_excess_t);
+  net.restore_flows(saved_flows_);
+  engine_->reset_excess_after_restore(saved_excess_t);
   network_.set_capacities_for_time(tmin);
-  CapacityIncrementer incrementer(network_);
+  incrementer_.rebind(network_);
   graph::Cap reached = saved_excess_t;
   while (reached != q) {
     obs::ScopedSpan step("alg6.capacity_step");
-    incrementer.increment_min_cost();
-    reached = engine->resume();
+    incrementer_.increment_min_cost();
+    reached = engine_->resume();
   }
 
-  result.capacity_steps = incrementer.steps();
-  result.flow_stats = engine->stats();
-  result.schedule = extract_schedule(network_);
-  result.response_time_ms = result.schedule.response_time(problem_.system);
-  return result;
+  result.capacity_steps = incrementer_.steps();
+  result.flow_stats = engine_->stats() - stats_before;
+  extract_schedule_into(network_, result.schedule);
+  result.response_time_ms = result.schedule.response_time(problem.system);
+}
+
+std::size_t PushRelabelBinarySolver::retained_bytes() const {
+  return network_.retained_bytes() +
+         saved_flows_.capacity() * sizeof(graph::Cap) +
+         (engine_ ? engine_->retained_bytes() : 0);
 }
 
 }  // namespace repflow::core

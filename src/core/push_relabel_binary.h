@@ -40,18 +40,36 @@ EngineFactory sequential_engine_factory(graph::PushRelabelOptions options = {});
 
 class PushRelabelBinarySolver {
  public:
+  /// Reusable shell: construct once, serve many problems via solve_into().
+  /// The engine is created lazily on the first solve and rebound (state
+  /// cleared, buffers kept) on every subsequent one.
+  explicit PushRelabelBinarySolver(EngineFactory factory =
+                                       sequential_engine_factory());
+
+  /// One-problem convenience binding (the original API).
   explicit PushRelabelBinarySolver(const RetrievalProblem& problem,
                                    EngineFactory factory =
                                        sequential_engine_factory());
 
+  /// Solve the constructor-bound problem.
   SolveResult solve();
+
+  /// Rebuild internal state in place and solve `problem`; steady-state
+  /// calls on same-footprint problems perform zero heap allocations.
+  void solve_into(const RetrievalProblem& problem, SolveResult& result);
 
   const RetrievalNetwork& network() const { return network_; }
 
+  /// Retained working-memory footprint (network + engine + snapshots).
+  std::size_t retained_bytes() const;
+
  private:
-  const RetrievalProblem& problem_;
+  const RetrievalProblem* bound_problem_ = nullptr;
   RetrievalNetwork network_;
   EngineFactory factory_;
+  std::unique_ptr<IntegratedEngine> engine_;
+  CapacityIncrementer incrementer_;
+  std::vector<graph::Cap> saved_flows_;
 };
 
 }  // namespace repflow::core

@@ -1,36 +1,59 @@
 #include "core/push_relabel_incremental.h"
 
+#include <stdexcept>
+
 #include "obs/span.h"
 
 namespace repflow::core {
 
 PushRelabelIncrementalSolver::PushRelabelIncrementalSolver(
     const RetrievalProblem& problem, graph::PushRelabelOptions options)
-    : problem_(problem), network_(problem), options_(options) {}
+    : bound_problem_(&problem), options_(options) {}
 
 SolveResult PushRelabelIncrementalSolver::solve() {
+  if (bound_problem_ == nullptr) {
+    throw std::logic_error(
+        "PushRelabelIncrementalSolver::solve: no bound problem; use "
+        "solve_into");
+  }
   SolveResult result;
-  const std::int64_t q = problem_.query_size();
+  solve_into(*bound_problem_, result);
+  return result;
+}
+
+void PushRelabelIncrementalSolver::solve_into(const RetrievalProblem& problem,
+                                              SolveResult& result) {
+  result.clear();
+  network_.rebuild(problem);
+  const std::int64_t q = problem.query_size();
 
   network_.set_uniform_capacities(0);
-  CapacityIncrementer incrementer(network_);
-  SequentialPushRelabelEngine engine(network_.net(), network_.source(),
-                                     network_.sink(), options_);
+  incrementer_.rebind(network_);
+  if (!engine_) {
+    engine_.emplace(network_.net(), network_.source(), network_.sink(),
+                    options_, &workspace_);
+  } else {
+    engine_->rebind(network_.source(), network_.sink());
+  }
+  const graph::FlowStats stats_before = engine_->stats();
 
   // Algorithm 5: admit the cheapest next slot, resume from conserved flows,
   // repeat until the sink's excess reaches |Q|.
   graph::Cap reached = 0;
   while (reached != q) {
     obs::ScopedSpan step("alg5.capacity_step");
-    incrementer.increment_min_cost();
-    reached = engine.resume();
+    incrementer_.increment_min_cost();
+    reached = engine_->resume();
   }
 
-  result.capacity_steps = incrementer.steps();
-  result.flow_stats = engine.stats();
-  result.schedule = extract_schedule(network_);
-  result.response_time_ms = result.schedule.response_time(problem_.system);
-  return result;
+  result.capacity_steps = incrementer_.steps();
+  result.flow_stats = engine_->stats() - stats_before;
+  extract_schedule_into(network_, result.schedule);
+  result.response_time_ms = result.schedule.response_time(problem.system);
+}
+
+std::size_t PushRelabelIncrementalSolver::retained_bytes() const {
+  return network_.retained_bytes() + workspace_.retained_bytes();
 }
 
 }  // namespace repflow::core

@@ -6,7 +6,7 @@
 // conserved flows until the sink's excess reaches |Q|.
 #pragma once
 
-#include <memory>
+#include <optional>
 
 #include "core/engine.h"
 #include "core/increment.h"
@@ -17,18 +17,35 @@ namespace repflow::core {
 
 class PushRelabelIncrementalSolver {
  public:
+  /// Reusable shell: construct once, serve many problems via solve_into().
+  explicit PushRelabelIncrementalSolver(
+      graph::PushRelabelOptions options = {})
+      : options_(options) {}
+
+  /// One-problem convenience binding (the original API).
   explicit PushRelabelIncrementalSolver(
       const RetrievalProblem& problem,
       graph::PushRelabelOptions options = {});
 
+  /// Solve the constructor-bound problem.
   SolveResult solve();
+
+  /// Rebuild internal state in place and solve `problem`; steady-state
+  /// calls on same-footprint problems perform zero heap allocations.
+  void solve_into(const RetrievalProblem& problem, SolveResult& result);
 
   const RetrievalNetwork& network() const { return network_; }
 
+  /// Retained working-memory footprint (network + engine workspace).
+  std::size_t retained_bytes() const;
+
  private:
-  const RetrievalProblem& problem_;
-  RetrievalNetwork network_;
+  const RetrievalProblem* bound_problem_ = nullptr;
   graph::PushRelabelOptions options_;
+  RetrievalNetwork network_;
+  CapacityIncrementer incrementer_;
+  graph::MaxflowWorkspace workspace_;
+  std::optional<SequentialPushRelabelEngine> engine_;
 };
 
 }  // namespace repflow::core

@@ -45,12 +45,18 @@ std::string Schedule::to_string() const {
 }
 
 Schedule extract_schedule(const RetrievalNetwork& network) {
+  Schedule schedule;
+  extract_schedule_into(network, schedule);
+  return schedule;
+}
+
+void extract_schedule_into(const RetrievalNetwork& network,
+                           Schedule& schedule) {
   const RetrievalProblem& problem = network.problem();
   const auto& net = network.net();
   if (network.flow_value() != problem.query_size()) {
     throw std::logic_error("extract_schedule: flow is not complete");
   }
-  Schedule schedule;
   schedule.assigned_disk.assign(
       static_cast<std::size_t>(problem.query_size()), -1);
   schedule.per_disk_count.assign(
@@ -71,7 +77,6 @@ Schedule extract_schedule(const RetrievalNetwork& network) {
       throw std::logic_error("extract_schedule: unassigned bucket");
     }
   }
-  return schedule;
 }
 
 std::string check_schedule(const RetrievalProblem& problem,

@@ -30,6 +30,11 @@ struct Schedule {
 /// value |Q| (throws std::logic_error otherwise).
 Schedule extract_schedule(const RetrievalNetwork& network);
 
+/// Allocation-free variant: overwrite `schedule` in place (its vectors keep
+/// their capacity, so extracting a same-size schedule allocates nothing).
+void extract_schedule_into(const RetrievalNetwork& network,
+                           Schedule& schedule);
+
 /// Validate a schedule against its problem: every bucket assigned to one of
 /// its replicas and per-disk counts consistent.  Returns an empty string on
 /// success, else a description of the violation.

@@ -1,16 +1,10 @@
 #include "core/solve.h"
 
 #include <stdexcept>
-#include <string>
 
-#include "core/black_box.h"
-#include "core/ford_fulkerson_basic.h"
-#include "core/ford_fulkerson_incremental.h"
-#include "core/push_relabel_binary.h"
-#include "core/push_relabel_incremental.h"
+#include "core/solver_pool.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
-#include "parallel/parallel_engine.h"
 
 namespace repflow::core {
 
@@ -65,8 +59,11 @@ struct SolverMetrics {
   const char* span_name;
 };
 
+// Exhaustive switch (not an index into a hand-ordered table) so that
+// reordering SolverKind cannot silently misattribute metrics: the compiler
+// flags a missing case, and each kind names its id literally.  The macro
+// pastes string literals so the span name keeps static storage duration.
 SolverMetrics& metrics_for(SolverKind kind) {
-  static SolverMetrics table[] = {
 #define REPFLOW_SOLVER_METRICS(id)                                          \
   {obs::Registry::global().histogram("solver." id ".solve_ms"),             \
    obs::Registry::global().counter("solver." id ".solves"),                 \
@@ -74,36 +71,34 @@ SolverMetrics& metrics_for(SolverKind kind) {
    obs::Registry::global().counter("solver." id ".binary_probes"),          \
    obs::Registry::global().counter("solver." id ".maxflow_runs"),           \
    "solve." id}
-      REPFLOW_SOLVER_METRICS("alg1"),
-      REPFLOW_SOLVER_METRICS("alg2"),
-      REPFLOW_SOLVER_METRICS("alg5"),
-      REPFLOW_SOLVER_METRICS("alg6"),
-      REPFLOW_SOLVER_METRICS("blackbox"),
-      REPFLOW_SOLVER_METRICS("parallel"),
-#undef REPFLOW_SOLVER_METRICS
-  };
-  return table[static_cast<int>(kind)];
-}
-
-SolveResult dispatch(const RetrievalProblem& problem, SolverKind kind,
-                     int threads) {
   switch (kind) {
-    case SolverKind::kFordFulkersonBasic:
-      return FordFulkersonBasicSolver(problem).solve();
-    case SolverKind::kFordFulkersonIncremental:
-      return FordFulkersonIncrementalSolver(problem).solve();
-    case SolverKind::kPushRelabelIncremental:
-      return PushRelabelIncrementalSolver(problem).solve();
-    case SolverKind::kPushRelabelBinary:
-      return PushRelabelBinarySolver(problem).solve();
-    case SolverKind::kBlackBoxBinary:
-      return BlackBoxBinarySolver(problem).solve();
-    case SolverKind::kParallelPushRelabelBinary:
-      return PushRelabelBinarySolver(
-                 problem, parallel::parallel_engine_factory(threads))
-          .solve();
+    case SolverKind::kFordFulkersonBasic: {
+      static SolverMetrics metrics = REPFLOW_SOLVER_METRICS("alg1");
+      return metrics;
+    }
+    case SolverKind::kFordFulkersonIncremental: {
+      static SolverMetrics metrics = REPFLOW_SOLVER_METRICS("alg2");
+      return metrics;
+    }
+    case SolverKind::kPushRelabelIncremental: {
+      static SolverMetrics metrics = REPFLOW_SOLVER_METRICS("alg5");
+      return metrics;
+    }
+    case SolverKind::kPushRelabelBinary: {
+      static SolverMetrics metrics = REPFLOW_SOLVER_METRICS("alg6");
+      return metrics;
+    }
+    case SolverKind::kBlackBoxBinary: {
+      static SolverMetrics metrics = REPFLOW_SOLVER_METRICS("blackbox");
+      return metrics;
+    }
+    case SolverKind::kParallelPushRelabelBinary: {
+      static SolverMetrics metrics = REPFLOW_SOLVER_METRICS("parallel");
+      return metrics;
+    }
   }
-  throw std::invalid_argument("solve: unknown solver kind");
+#undef REPFLOW_SOLVER_METRICS
+  throw std::invalid_argument("metrics_for: unknown solver kind");
 }
 
 }  // namespace
@@ -112,10 +107,15 @@ SolveResult solve(const RetrievalProblem& problem, SolverKind kind,
                   int threads) {
   SolverMetrics& metrics = metrics_for(kind);
   obs::ScopedSpan span(metrics.span_name);
+  // One pool per thread: solver shells (networks, engines, workspaces)
+  // persist across facade calls, so steady-state solves reuse every
+  // working buffer instead of reallocating per query.
+  thread_local SolverPool pool(threads);
+  pool.set_threads(threads);
   SolveResult result;
   {
     obs::ScopedLatency latency(metrics.solve_ms);
-    result = dispatch(problem, kind, threads);
+    pool.solve_into(problem, kind, result);
   }
   metrics.solves.add(1);
   metrics.capacity_steps.add(static_cast<std::uint64_t>(result.capacity_steps));

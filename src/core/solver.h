@@ -19,6 +19,19 @@ struct SolveResult {
   std::int64_t maxflow_runs = 0;     ///< full from-zero max-flow runs
                                      ///< (1 per probe for black box; 0 for
                                      ///< integrated algorithms)
+
+  /// Reset every field for reuse.  The schedule's vectors are cleared but
+  /// keep their capacity, so a reused SolveResult absorbs a same-size
+  /// solve without heap allocation.
+  void clear() {
+    response_time_ms = 0.0;
+    schedule.assigned_disk.clear();
+    schedule.per_disk_count.clear();
+    flow_stats.reset();
+    capacity_steps = 0;
+    binary_probes = 0;
+    maxflow_runs = 0;
+  }
 };
 
 /// Identifiers for the solver catalog (bench/series labels).

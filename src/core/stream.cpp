@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "core/solve.h"
 #include "obs/span.h"
 #include "support/timing.h"
 
@@ -15,7 +14,8 @@ QueryStreamScheduler::QueryStreamScheduler(
     : allocation_(&allocation),
       system_(std::move(base_system)),
       solver_(solver),
-      threads_(threads) {
+      threads_(threads),
+      pool_(threads) {
   if (allocation_->total_disks() != system_.total_disks()) {
     throw std::invalid_argument(
         "QueryStreamScheduler: allocation/system disk count mismatch");
@@ -28,7 +28,8 @@ QueryStreamScheduler::QueryStreamScheduler(workload::SystemConfig base_system,
     : allocation_(nullptr),
       system_(std::move(base_system)),
       solver_(solver),
-      threads_(threads) {
+      threads_(threads),
+      pool_(threads) {
   busy_until_.assign(static_cast<std::size_t>(system_.total_disks()), 0.0);
 }
 
@@ -79,7 +80,10 @@ StreamEvent QueryStreamScheduler::submit_problem(RetrievalProblem problem,
   obs::ScopedSpan span("stream.submit");
   StopWatch solve_watch;
   solve_watch.start();
-  const SolveResult result = solve(problem, solver_, threads_);
+  // Pooled solve into the reused scratch buffer: after the first query,
+  // the solver-internal path allocates nothing.
+  pool_.solve_into(problem, solver_, scratch_result_);
+  const SolveResult& result = scratch_result_;
   solve_watch.stop();
 
   // Advance each used disk's busy horizon by the work this schedule put on
@@ -99,7 +103,9 @@ StreamEvent QueryStreamScheduler::submit_problem(RetrievalProblem problem,
   event.max_initial_load_ms = max_backlog;
   event.solve_ms = solve_watch.elapsed_ms();
   event.buckets = problem.query_size();
-  event.schedule = std::move(result.schedule);
+  // Copy (not move): the scratch result keeps its vector capacities for
+  // the next query.
+  event.schedule = result.schedule;
 
   // Latency decomposition: backlog wait vs. solver cost vs. delivered
   // response.  Recorded both per-scheduler (stats()) and process-globally.

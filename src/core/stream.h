@@ -15,6 +15,7 @@
 #include "core/problem.h"
 #include "core/schedule.h"
 #include "core/solver.h"
+#include "core/solver_pool.h"
 #include "decluster/allocation.h"
 #include "obs/metrics.h"
 #include "workload/disks.h"
@@ -97,6 +98,11 @@ class QueryStreamScheduler {
   workload::SystemConfig system_;
   SolverKind solver_;
   int threads_;
+  // Pooled solver shells + reused result buffer: consecutive queries of the
+  // stream hit the same retained networks/workspaces, so the per-query
+  // solve itself performs zero steady-state heap allocations.
+  SolverPool pool_;
+  SolveResult scratch_result_;
   std::vector<double> busy_until_;  // absolute ms per disk
   std::vector<StreamEvent> events_;
   double last_arrival_ms_ = 0.0;

@@ -6,43 +6,60 @@
 
 namespace repflow::graph {
 
-Dinic::Dinic(FlowNetwork& net, Vertex source, Vertex sink)
-    : net_(net), source_(source), sink_(sink) {
-  if (source < 0 || source >= net.num_vertices() || sink < 0 ||
-      sink >= net.num_vertices() || source == sink) {
-    throw std::invalid_argument("Dinic: bad source/sink");
-  }
+Dinic::Dinic(FlowNetwork& net, Vertex source, Vertex sink,
+             MaxflowWorkspace* workspace)
+    : net_(net),
+      source_(source),
+      sink_(sink),
+      ws_(workspace != nullptr ? workspace : &owned_workspace_) {
+  rebind(source, sink);
 }
 
 Dinic::~Dinic() { publish_flow_stats(stats_); }
 
+void Dinic::validate_endpoints() const {
+  if (source_ < 0 || source_ >= net_.num_vertices() || sink_ < 0 ||
+      sink_ >= net_.num_vertices() || source_ == sink_) {
+    throw std::invalid_argument("Dinic: bad source/sink");
+  }
+}
+
+void Dinic::rebind(Vertex source, Vertex sink) {
+  source_ = source;
+  sink_ = sink;
+  validate_endpoints();
+}
+
 bool Dinic::build_level_graph() {
-  level_.assign(static_cast<std::size_t>(net_.num_vertices()), -1);
-  queue_.clear();
-  queue_.push_back(source_);
-  level_[source_] = 0;
+  auto& level = ws_->level;
+  auto& queue = ws_->vertex_scratch;
+  level.assign(static_cast<std::size_t>(net_.num_vertices()), -1);
+  queue.clear();
+  queue.push_back(source_);
+  level[source_] = 0;
   std::size_t qi = 0;
-  while (qi < queue_.size()) {
-    const Vertex v = queue_[qi++];
+  while (qi < queue.size()) {
+    const Vertex v = queue[qi++];
     ++stats_.dfs_visits;
     for (ArcId a : net_.out_arcs(v)) {
       const Vertex w = net_.head(a);
-      if (net_.residual(a) > 0 && level_[w] < 0) {
-        level_[w] = level_[v] + 1;
-        queue_.push_back(w);
+      if (net_.residual(a) > 0 && level[w] < 0) {
+        level[w] = level[v] + 1;
+        queue.push_back(w);
       }
     }
   }
-  return level_[sink_] >= 0;
+  return level[sink_] >= 0;
 }
 
 Cap Dinic::blocking_dfs(Vertex v, Cap limit) {
   if (v == sink_) return limit;
   auto arcs = net_.out_arcs(v);
-  for (std::size_t& i = arc_cursor_[v]; i < arcs.size(); ++i) {
+  auto& level = ws_->level;
+  for (std::uint32_t& i = ws_->arc_cursor[v]; i < arcs.size(); ++i) {
     const ArcId a = arcs[i];
     const Vertex w = net_.head(a);
-    if (net_.residual(a) <= 0 || level_[w] != level_[v] + 1) continue;
+    if (net_.residual(a) <= 0 || level[w] != level[v] + 1) continue;
     const Cap pushed =
         blocking_dfs(w, std::min(limit, net_.residual(a)));
     if (pushed > 0) {
@@ -56,7 +73,7 @@ Cap Dinic::blocking_dfs(Vertex v, Cap limit) {
 Cap Dinic::run() {
   Cap total = 0;
   while (build_level_graph()) {
-    arc_cursor_.assign(static_cast<std::size_t>(net_.num_vertices()), 0);
+    ws_->arc_cursor.assign(static_cast<std::size_t>(net_.num_vertices()), 0);
     while (Cap pushed =
                blocking_dfs(source_, std::numeric_limits<Cap>::max())) {
       total += pushed;
@@ -68,10 +85,10 @@ Cap Dinic::run() {
 
 MaxflowResult Dinic::solve_from_zero() {
   net_.clear_flow();
-  stats_.reset();
+  const FlowStats before = stats_;
   MaxflowResult result;
   result.value = run();
-  result.stats = stats_;
+  result.stats = stats_ - before;  // per-run view; stats_ stays cumulative
   return result;
 }
 

@@ -3,29 +3,43 @@
 // Not part of the paper's algorithm suite; included as an additional
 // black-box engine for the ablation benchmarks (the paper cites blocking
 // flow methods [22], [33] as the classical alternative family).
+//
+// Level/cursor/queue scratch lives in a MaxflowWorkspace (graph/workspace.h);
+// inject one to share buffers, or omit it for a private workspace.
 #pragma once
 
 #include <vector>
 
 #include "graph/maxflow.h"
+#include "graph/workspace.h"
 
 namespace repflow::graph {
 
 class Dinic {
  public:
-  Dinic(FlowNetwork& net, Vertex source, Vertex sink);
+  Dinic(FlowNetwork& net, Vertex source, Vertex sink,
+        MaxflowWorkspace* workspace = nullptr);
   /// Publishes the accumulated FlowStats to the obs registry.
   ~Dinic();
+
+  /// Re-target the engine after the network was rebuilt in place.  Keeps
+  /// buffer capacity and the cumulative stats() total.
+  void rebind(Vertex source, Vertex sink);
 
   /// Run from the network's current flow state; returns flow added.
   Cap run();
 
-  /// clear_flow() + run().
+  /// clear_flow() + run().  The result carries this run's operation counts;
+  /// stats() keeps accumulating.
   MaxflowResult solve_from_zero();
 
   const FlowStats& stats() const { return stats_; }
 
+  /// The workspace in use (injected or owned) — for footprint reporting.
+  const MaxflowWorkspace& workspace() const { return *ws_; }
+
  private:
+  void validate_endpoints() const;
   bool build_level_graph();
   Cap blocking_dfs(Vertex v, Cap limit);
 
@@ -33,9 +47,9 @@ class Dinic {
   Vertex source_;
   Vertex sink_;
   FlowStats stats_;
-  std::vector<std::int32_t> level_;
-  std::vector<std::size_t> arc_cursor_;
-  std::vector<Vertex> queue_;
+
+  MaxflowWorkspace owned_workspace_;  // used when none is injected
+  MaxflowWorkspace* ws_;
 };
 
 }  // namespace repflow::graph

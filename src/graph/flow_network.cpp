@@ -1,19 +1,35 @@
 #include "graph/flow_network.h"
 
 #include <cassert>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 namespace repflow::graph {
 
+namespace {
+constexpr std::size_t kMaxVertices =
+    static_cast<std::size_t>(std::numeric_limits<Vertex>::max());
+constexpr std::size_t kMaxArcs =
+    static_cast<std::size_t>(std::numeric_limits<ArcId>::max());
+}  // namespace
+
 Vertex FlowNetwork::add_vertex() {
-  first_out_.emplace_back();
-  return static_cast<Vertex>(first_out_.size() - 1);
+  add_vertices(1);
+  return num_vertices() - 1;
 }
 
 void FlowNetwork::add_vertices(Vertex count) {
   if (count < 0) throw std::invalid_argument("add_vertices: negative count");
-  first_out_.resize(first_out_.size() + static_cast<std::size_t>(count));
+  const std::size_t total =
+      out_degree_.size() + static_cast<std::size_t>(count);
+  if (total > kMaxVertices) {
+    throw std::length_error("add_vertices: vertex count " +
+                            std::to_string(total) + " exceeds Vertex max " +
+                            std::to_string(kMaxVertices));
+  }
+  out_degree_.resize(total, 0);
+  csr_dirty_ = true;
 }
 
 ArcId FlowNetwork::add_arc(Vertex tail, Vertex head, Cap cap) {
@@ -22,6 +38,11 @@ ArcId FlowNetwork::add_arc(Vertex tail, Vertex head, Cap cap) {
     throw std::out_of_range("add_arc: vertex out of range");
   }
   if (cap < 0) throw std::invalid_argument("add_arc: negative capacity");
+  if (head_.size() + 2 > kMaxArcs) {
+    throw std::length_error("add_arc: arc slot count " +
+                            std::to_string(head_.size() + 2) +
+                            " exceeds ArcId max " + std::to_string(kMaxArcs));
+  }
   const ArcId forward = static_cast<ArcId>(head_.size());
   head_.push_back(head);
   cap_.push_back(cap);
@@ -29,9 +50,43 @@ ArcId FlowNetwork::add_arc(Vertex tail, Vertex head, Cap cap) {
   head_.push_back(tail);
   cap_.push_back(0);
   flow_.push_back(0);
-  first_out_[tail].push_back(forward);
-  first_out_[head].push_back(forward + 1);
+  ++out_degree_[tail];
+  ++out_degree_[head];
+  csr_dirty_ = true;
   return forward;
+}
+
+void FlowNetwork::reset(Vertex vertices) {
+  head_.clear();
+  cap_.clear();
+  flow_.clear();
+  out_degree_.clear();
+  csr_dirty_ = true;
+  if (vertices > 0) add_vertices(vertices);
+}
+
+void FlowNetwork::rebuild_csr() const {
+  // Counting sort of arc ids by tail vertex.  Arc ids are scattered in
+  // ascending order, so each vertex's CSR range lists its arcs in insertion
+  // order — identical adjacency order to the old vector-of-vectors layout,
+  // which keeps every engine's traversal (and thus results) deterministic.
+  const std::size_t v_count = out_degree_.size();
+  first_out_.resize(v_count + 1);
+  csr_cursor_.resize(v_count);
+  std::int32_t offset = 0;
+  for (std::size_t v = 0; v < v_count; ++v) {
+    first_out_[v] = offset;
+    csr_cursor_[v] = offset;
+    offset += out_degree_[v];
+  }
+  first_out_[v_count] = offset;
+  out_arcs_.resize(static_cast<std::size_t>(offset));
+  const ArcId arcs = static_cast<ArcId>(head_.size());
+  for (ArcId a = 0; a < arcs; ++a) {
+    const Vertex t = head_[a ^ 1];  // tail(a)
+    out_arcs_[static_cast<std::size_t>(csr_cursor_[t]++)] = a;
+  }
+  csr_dirty_ = false;
 }
 
 void FlowNetwork::push_on(ArcId a, Cap delta) {
@@ -51,9 +106,14 @@ void FlowNetwork::clear_flow() {
 }
 
 std::vector<Cap> FlowNetwork::save_flows() const {
-  std::vector<Cap> snapshot(static_cast<std::size_t>(num_edges()));
-  for (ArcId e = 0; e < num_edges(); ++e) snapshot[e] = flow_[2 * e];
+  std::vector<Cap> snapshot;
+  save_flows_into(snapshot);
   return snapshot;
+}
+
+void FlowNetwork::save_flows_into(std::vector<Cap>& snapshot) const {
+  snapshot.resize(static_cast<std::size_t>(num_edges()));
+  for (ArcId e = 0; e < num_edges(); ++e) snapshot[e] = flow_[2 * e];
 }
 
 void FlowNetwork::restore_flows(const std::vector<Cap>& snapshot) {
@@ -80,6 +140,15 @@ Cap FlowNetwork::net_out_flow(Vertex v) const {
   Cap total = 0;
   for (ArcId a : out_arcs(v)) total += flow_[a];
   return total;
+}
+
+std::size_t FlowNetwork::retained_bytes() const {
+  return head_.capacity() * sizeof(Vertex) + cap_.capacity() * sizeof(Cap) +
+         flow_.capacity() * sizeof(Cap) +
+         out_degree_.capacity() * sizeof(std::int32_t) +
+         out_arcs_.capacity() * sizeof(ArcId) +
+         first_out_.capacity() * sizeof(std::int32_t) +
+         csr_cursor_.capacity() * sizeof(std::int32_t);
 }
 
 std::string FlowNetwork::to_string() const {

@@ -7,6 +7,13 @@
 // flow[a ^ 1], so residual capacities of both directions stay consistent and
 // "reversing an edge" (Algorithm 1/2 of the paper) is simply pushing on the
 // reverse arc.
+//
+// Adjacency is a flat CSR layout (contiguous out_arcs_ + first_out_ offset
+// arrays) rebuilt lazily after topology edits, so the engines' inner loops
+// scan one contiguous range per vertex instead of chasing a vector-of-
+// vectors.  reset() clears the network while retaining every buffer's
+// capacity: rebuilding a same-footprint network allocates nothing, which is
+// what the pooled solvers (core/solver_pool.h) rely on.
 #pragma once
 
 #include <cstdint>
@@ -36,9 +43,17 @@ class FlowNetwork {
 
   /// Create the forward/reverse arc pair (tail -> head) with capacity `cap`.
   /// Returns the forward arc id (always even); the reverse id is `id + 1`.
+  /// Throws std::length_error when another pair would overflow ArcId.
   ArcId add_arc(Vertex tail, Vertex head, Cap cap);
 
-  Vertex num_vertices() const { return static_cast<Vertex>(first_out_.size()); }
+  /// Drop all vertices and arcs, then re-add `vertices` empty vertices.
+  /// Every internal buffer keeps its capacity, so re-populating a network
+  /// of the same (or smaller) footprint performs no heap allocation.
+  void reset(Vertex vertices = 0);
+
+  Vertex num_vertices() const {
+    return static_cast<Vertex>(out_degree_.size());
+  }
   /// Number of *directed arc slots*, i.e. 2x the number of added edges.
   ArcId num_arcs() const { return static_cast<ArcId>(head_.size()); }
   /// Number of logical (forward) edges.
@@ -68,16 +83,20 @@ class FlowNetwork {
   /// Zero all flows.
   void clear_flow();
 
-  /// Arc ids leaving `v` (both forward and reverse slots).
+  /// Arc ids leaving `v` (both forward and reverse slots), in insertion
+  /// order, as one contiguous CSR range.  The span is invalidated by the
+  /// next topology edit (add_vertex/add_arc/reset).
   std::span<const ArcId> out_arcs(Vertex v) const {
-    return {first_out_[v].data(), first_out_[v].size()};
+    if (csr_dirty_) rebuild_csr();
+    return {out_arcs_.data() + first_out_[static_cast<std::size_t>(v)],
+            out_arcs_.data() + first_out_[static_cast<std::size_t>(v) + 1]};
   }
-  std::int32_t out_degree(Vertex v) const {
-    return static_cast<std::int32_t>(first_out_[v].size());
-  }
+  std::int32_t out_degree(Vertex v) const { return out_degree_[v]; }
 
   /// Flow snapshots: forward-arc flows only (reverse flows are derived).
   std::vector<Cap> save_flows() const;
+  /// Allocation-free variant: overwrite `snapshot` (resized in place).
+  void save_flows_into(std::vector<Cap>& snapshot) const;
   void restore_flows(const std::vector<Cap>& snapshot);
 
   /// Sum of flow on arcs entering `t` (the |f| of Equation 2 in the paper).
@@ -86,14 +105,26 @@ class FlowNetwork {
   /// Net out-flow of a vertex (0 for all conserved vertices of a flow).
   Cap net_out_flow(Vertex v) const;
 
+  /// Capacity-based estimate of the retained heap footprint.
+  std::size_t retained_bytes() const;
+
   /// Human-readable dump for debugging and golden tests.
   std::string to_string() const;
 
  private:
-  std::vector<Vertex> head_;           // per arc slot
-  std::vector<Cap> cap_;               // per arc slot
-  std::vector<Cap> flow_;              // per arc slot
-  std::vector<std::vector<ArcId>> first_out_;  // adjacency (arc ids)
+  void rebuild_csr() const;
+
+  std::vector<Vertex> head_;              // per arc slot
+  std::vector<Cap> cap_;                  // per arc slot
+  std::vector<Cap> flow_;                 // per arc slot
+  std::vector<std::int32_t> out_degree_;  // per vertex
+
+  // CSR adjacency cache, rebuilt lazily (counting sort over arc ids, which
+  // preserves per-vertex insertion order because arc ids are monotone).
+  mutable std::vector<ArcId> out_arcs_;        // arc ids grouped by tail
+  mutable std::vector<std::int32_t> first_out_;  // vertex -> offset, size V+1
+  mutable std::vector<std::int32_t> csr_cursor_; // scatter scratch
+  mutable bool csr_dirty_ = true;
 };
 
 }  // namespace repflow::graph

@@ -16,54 +16,72 @@ std::string FlowStats::to_string() const {
 }
 
 FordFulkerson::FordFulkerson(FlowNetwork& net, Vertex source, Vertex sink,
-                             SearchOrder order)
-    : net_(net), source_(source), sink_(sink), order_(order) {
-  if (source < 0 || source >= net.num_vertices() || sink < 0 ||
-      sink >= net.num_vertices() || source == sink) {
-    throw std::invalid_argument("FordFulkerson: bad source/sink");
-  }
-  const auto n = static_cast<std::size_t>(net.num_vertices());
-  visited_mark_.assign(n, 0);
-  parent_arc_.assign(n, kInvalidArc);
-  dfs_arc_index_.assign(n, 0);
+                             SearchOrder order, MaxflowWorkspace* workspace)
+    : net_(net),
+      source_(source),
+      sink_(sink),
+      order_(order),
+      ws_(workspace != nullptr ? workspace : &owned_workspace_) {
+  rebind(source, sink);
 }
 
 FordFulkerson::~FordFulkerson() { publish_flow_stats(stats_); }
+
+void FordFulkerson::validate_endpoints() const {
+  if (source_ < 0 || source_ >= net_.num_vertices() || sink_ < 0 ||
+      sink_ >= net_.num_vertices() || source_ == sink_) {
+    throw std::invalid_argument("FordFulkerson: bad source/sink");
+  }
+}
+
+void FordFulkerson::ensure_sizes() {
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  if (ws_->visited_mark.size() < n) ws_->visited_mark.resize(n, 0);
+  if (ws_->parent_arc.size() < n) ws_->parent_arc.resize(n, kInvalidArc);
+  if (ws_->arc_cursor.size() < n) ws_->arc_cursor.resize(n, 0);
+}
+
+void FordFulkerson::rebind(Vertex source, Vertex sink) {
+  source_ = source;
+  sink_ = sink;
+  validate_endpoints();
+  ensure_sizes();
+}
 
 Cap FordFulkerson::augment_once(Vertex from) {
   if (from == kInvalidVertex) from = source_;
   // The network may have grown since construction (not used by the retrieval
   // algorithms, but keeps the engine honest as a general component).
-  const auto n = static_cast<std::size_t>(net_.num_vertices());
-  if (visited_mark_.size() < n) {
-    visited_mark_.resize(n, 0);
-    parent_arc_.resize(n, kInvalidArc);
-    dfs_arc_index_.resize(n, 0);
-  }
+  ensure_sizes();
   return order_ == SearchOrder::kDfs ? dfs_augment(from) : bfs_augment(from);
 }
 
 Cap FordFulkerson::dfs_augment(Vertex from) {
-  ++mark_epoch_;
-  dfs_path_.clear();
-  // Iterative DFS over residual arcs; dfs_arc_index_[v] is the cursor into
-  // v's out-arc list for the current epoch.
-  std::vector<Vertex> stack{from};
-  visited_mark_[from] = mark_epoch_;
-  dfs_arc_index_[from] = 0;
+  const std::uint32_t epoch = ++ws_->mark_epoch;
+  auto& visited = ws_->visited_mark;
+  auto& cursor = ws_->arc_cursor;
+  auto& path = ws_->arc_path;
+  auto& stack = ws_->vertex_scratch;
+  path.clear();
+  // Iterative DFS over residual arcs; cursor[v] indexes v's out-arc list
+  // for the current epoch.
+  stack.clear();
+  stack.push_back(from);
+  visited[from] = epoch;
+  cursor[from] = 0;
   ++stats_.dfs_visits;
   while (!stack.empty()) {
     const Vertex v = stack.back();
     if (v == sink_) break;
     bool descended = false;
     auto arcs = net_.out_arcs(v);
-    for (std::size_t& i = dfs_arc_index_[v]; i < arcs.size(); ++i) {
+    for (std::uint32_t& i = cursor[v]; i < arcs.size(); ++i) {
       const ArcId a = arcs[i];
       const Vertex w = net_.head(a);
-      if (net_.residual(a) <= 0 || visited_mark_[w] == mark_epoch_) continue;
-      visited_mark_[w] = mark_epoch_;
-      dfs_arc_index_[w] = 0;
-      dfs_path_.push_back(a);
+      if (net_.residual(a) <= 0 || visited[w] == epoch) continue;
+      visited[w] = epoch;
+      cursor[w] = 0;
+      path.push_back(a);
       stack.push_back(w);
       ++stats_.dfs_visits;
       ++i;  // resume after this arc when we pop back to v
@@ -72,50 +90,53 @@ Cap FordFulkerson::dfs_augment(Vertex from) {
     }
     if (!descended) {
       stack.pop_back();
-      if (!dfs_path_.empty() && !stack.empty()) dfs_path_.pop_back();
+      if (!path.empty() && !stack.empty()) path.pop_back();
     }
   }
   if (stack.empty() || stack.back() != sink_) return 0;
   Cap bottleneck = std::numeric_limits<Cap>::max();
-  for (ArcId a : dfs_path_) bottleneck = std::min(bottleneck, net_.residual(a));
-  for (ArcId a : dfs_path_) net_.push_on(a, bottleneck);
+  for (ArcId a : path) bottleneck = std::min(bottleneck, net_.residual(a));
+  for (ArcId a : path) net_.push_on(a, bottleneck);
   ++stats_.augmentations;
   return bottleneck;
 }
 
 Cap FordFulkerson::bfs_augment(Vertex from) {
-  ++mark_epoch_;
-  queue_.clear();
-  queue_.push_back(from);
-  visited_mark_[from] = mark_epoch_;
-  parent_arc_[from] = kInvalidArc;
+  const std::uint32_t epoch = ++ws_->mark_epoch;
+  auto& visited = ws_->visited_mark;
+  auto& parent = ws_->parent_arc;
+  auto& queue = ws_->vertex_scratch;
+  queue.clear();
+  queue.push_back(from);
+  visited[from] = epoch;
+  parent[from] = kInvalidArc;
   ++stats_.dfs_visits;
   std::size_t qi = 0;
   bool reached = false;
-  while (qi < queue_.size() && !reached) {
-    const Vertex v = queue_[qi++];
+  while (qi < queue.size() && !reached) {
+    const Vertex v = queue[qi++];
     for (ArcId a : net_.out_arcs(v)) {
       const Vertex w = net_.head(a);
-      if (net_.residual(a) <= 0 || visited_mark_[w] == mark_epoch_) continue;
-      visited_mark_[w] = mark_epoch_;
-      parent_arc_[w] = a;
+      if (net_.residual(a) <= 0 || visited[w] == epoch) continue;
+      visited[w] = epoch;
+      parent[w] = a;
       ++stats_.dfs_visits;
       if (w == sink_) {
         reached = true;
         break;
       }
-      queue_.push_back(w);
+      queue.push_back(w);
     }
   }
   if (!reached) return 0;
   Cap bottleneck = std::numeric_limits<Cap>::max();
   for (Vertex v = sink_; v != from;) {
-    const ArcId a = parent_arc_[v];
+    const ArcId a = parent[v];
     bottleneck = std::min(bottleneck, net_.residual(a));
     v = net_.tail(a);
   }
   for (Vertex v = sink_; v != from;) {
-    const ArcId a = parent_arc_[v];
+    const ArcId a = parent[v];
     net_.push_on(a, bottleneck);
     v = net_.tail(a);
   }
@@ -131,10 +152,10 @@ Cap FordFulkerson::run() {
 
 MaxflowResult FordFulkerson::solve_from_zero() {
   net_.clear_flow();
-  reset_stats();
+  const FlowStats before = stats_;
   MaxflowResult result;
   result.value = run();
-  result.stats = stats_;
+  result.stats = stats_ - before;  // per-run view; stats_ stays cumulative
   return result;
 }
 

@@ -3,11 +3,15 @@
 // Besides the classic "run to max flow" entry point, this engine exposes a
 // single-augmentation primitive so the paper's integrated Algorithms 1 and 2
 // can interleave capacity incrementation with per-bucket augmentations.
+//
+// Search scratch lives in a MaxflowWorkspace (graph/workspace.h); inject one
+// to share buffers with sibling engines, or omit it for a private workspace.
 #pragma once
 
 #include <vector>
 
 #include "graph/maxflow.h"
+#include "graph/workspace.h"
 
 namespace repflow::graph {
 
@@ -19,9 +23,14 @@ enum class SearchOrder {
 class FordFulkerson {
  public:
   explicit FordFulkerson(FlowNetwork& net, Vertex source, Vertex sink,
-                         SearchOrder order = SearchOrder::kDfs);
+                         SearchOrder order = SearchOrder::kDfs,
+                         MaxflowWorkspace* workspace = nullptr);
   /// Publishes the accumulated FlowStats to the obs registry.
   ~FordFulkerson();
+
+  /// Re-target the engine after the network was rebuilt in place.  Keeps
+  /// buffer capacity and the cumulative stats() total.
+  void rebind(Vertex source, Vertex sink);
 
   /// Search for one residual path from `from` to the sink and, if found,
   /// augment by the path bottleneck.  Returns the pushed amount (0 if no
@@ -32,13 +41,19 @@ class FordFulkerson {
   /// this call (flow already on the network is untouched and conserved).
   Cap run();
 
-  /// clear_flow() + run(): the classical black-box interface.
+  /// clear_flow() + run(): the classical black-box interface.  The result
+  /// carries this run's operation counts; stats() keeps accumulating.
   MaxflowResult solve_from_zero();
 
   const FlowStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
+  /// The workspace in use (injected or owned) — for footprint reporting.
+  const MaxflowWorkspace& workspace() const { return *ws_; }
+
  private:
+  void validate_endpoints() const;
+  void ensure_sizes();
   Cap dfs_augment(Vertex from);
   Cap bfs_augment(Vertex from);
 
@@ -47,13 +62,9 @@ class FordFulkerson {
   Vertex sink_;
   SearchOrder order_;
   FlowStats stats_;
-  // Scratch reused across augmentations to avoid per-call allocation.
-  std::vector<std::uint32_t> visited_mark_;
-  std::uint32_t mark_epoch_ = 0;
-  std::vector<ArcId> parent_arc_;
-  std::vector<Vertex> queue_;
-  std::vector<ArcId> dfs_path_;
-  std::vector<std::size_t> dfs_arc_index_;
+
+  MaxflowWorkspace owned_workspace_;  // used when none is injected
+  MaxflowWorkspace* ws_;
 };
 
 }  // namespace repflow::graph

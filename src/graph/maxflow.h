@@ -28,8 +28,24 @@ struct FlowStats {
     dfs_visits += o.dfs_visits;
     return *this;
   }
+  FlowStats& operator-=(const FlowStats& o) {
+    augmentations -= o.augmentations;
+    pushes -= o.pushes;
+    relabels -= o.relabels;
+    global_relabels -= o.global_relabels;
+    gap_jumps -= o.gap_jumps;
+    dfs_visits -= o.dfs_visits;
+    return *this;
+  }
   std::string to_string() const;
 };
+
+/// Delta between two cumulative snapshots of the same engine (b taken
+/// earlier than a): the operation counts of the runs in between.
+inline FlowStats operator-(FlowStats a, const FlowStats& b) {
+  a -= b;
+  return a;
+}
 
 /// Result of a full max-flow computation.
 struct MaxflowResult {

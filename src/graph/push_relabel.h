@@ -10,12 +10,17 @@
 // except source and sink has zero excess: excess that cannot reach the sink
 // is returned to the source by relabeling past n (heights are bounded by
 // 2n-1), exactly as required for the paper's flow-conservation scheme.
+//
+// Working memory lives in a MaxflowWorkspace (graph/workspace.h).  Pass one
+// in to share buffers with other engines of the same solver; omit it and the
+// engine owns a private workspace.  Either way the buffers are retained
+// across runs and across rebind(), so steady-state reruns allocate nothing.
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "graph/maxflow.h"
+#include "graph/workspace.h"
 
 namespace repflow::graph {
 
@@ -36,13 +41,21 @@ struct PushRelabelOptions {
 class PushRelabel {
  public:
   PushRelabel(FlowNetwork& net, Vertex source, Vertex sink,
-              PushRelabelOptions options = {});
+              PushRelabelOptions options = {},
+              MaxflowWorkspace* workspace = nullptr);
   /// Publishes the accumulated FlowStats to the obs registry.
   ~PushRelabel();
 
+  /// Re-target the engine after the network was rebuilt in place (same
+  /// FlowNetwork object, possibly different topology).  Clears all engine
+  /// state as if freshly constructed, but keeps buffer capacity and the
+  /// cumulative stats() total.
+  void rebind(Vertex source, Vertex sink);
+
   // ---- Black-box interface (the [12] baseline uses exactly this) ----
 
-  /// clear_flow() + full preflow init + run().  Returns max-flow value.
+  /// clear_flow() + full preflow init + run().  Returns max-flow value with
+  /// this run's operation counts (stats() keeps accumulating across runs).
   MaxflowResult solve_from_zero();
 
   // ---- Integrated interface (Algorithms 5 and 6) ----
@@ -66,8 +79,8 @@ class PushRelabel {
 
   // ---- State inspection / manipulation for Algorithm 6 ----
 
-  Cap excess(Vertex v) const { return excess_[v]; }
-  std::int32_t height(Vertex v) const { return height_[v]; }
+  Cap excess(Vertex v) const { return ws_->excess[v]; }
+  std::int32_t height(Vertex v) const { return ws_->height[v]; }
 
   /// After restoring a flow snapshot into the network, realign the engine's
   /// excess bookkeeping: all conserved vertices zero, sink = `sink_excess`.
@@ -76,7 +89,11 @@ class PushRelabel {
   const FlowStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
+  /// The workspace in use (injected or owned) — for footprint reporting.
+  const MaxflowWorkspace& workspace() const { return *ws_; }
+
  private:
+  void validate_endpoints() const;
   void ensure_sizes();
   void enqueue_if_active(Vertex v);
   void discharge(Vertex v);
@@ -90,13 +107,8 @@ class PushRelabel {
   PushRelabelOptions options_;
   FlowStats stats_;
 
-  std::vector<Cap> excess_;
-  std::vector<std::int32_t> height_;
-  std::vector<std::size_t> arc_cursor_;
-  std::vector<std::int32_t> height_count_;  // gap heuristic: count per height
-  std::vector<bool> in_queue_;
-  std::deque<Vertex> queue_;
-  std::vector<Vertex> bfs_scratch_;
+  MaxflowWorkspace owned_workspace_;  // used when none is injected
+  MaxflowWorkspace* ws_;
   std::uint64_t relabels_since_global_ = 0;
 };
 

@@ -1,0 +1,111 @@
+// Reusable working memory for the max-flow engines.
+//
+// Every engine needs the same handful of per-vertex/per-arc buffers
+// (heights, excess, arc cursors, BFS/DFS scratch, flow snapshots).  When a
+// solver is run once per query — the stream-serving regime of ROADMAP.md —
+// allocating those buffers per run dominates small-query latency.  A
+// MaxflowWorkspace owns them once; engines grow the vectors monotonically
+// (capacity is never released between runs), so steady-state reruns on a
+// same-footprint network perform zero heap allocations.
+//
+// Sharing: one workspace may back several engines of a solver as long as
+// the engines never run concurrently — each engine re-initializes the
+// fields it uses at the start of a run.  Engines used from different
+// threads need different workspaces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/flow_network.h"
+
+namespace repflow::graph {
+
+/// Fixed-capacity FIFO of vertices backed by a ring buffer.  Replaces
+/// std::deque in the push-relabel engine: capacity is retained across runs
+/// and push/pop never allocate.  Each vertex is enqueued at most once at a
+/// time, so a capacity of num_vertices + 1 can never overflow.
+class VertexFifo {
+ public:
+  /// Make room for `vertices` distinct entries; clears the queue when the
+  /// ring has to grow (callers resize only between runs).
+  void ensure_capacity(std::size_t vertices) {
+    if (buf_.size() < vertices + 1) {
+      buf_.resize(vertices + 1);
+      head_ = tail_ = 0;
+    }
+  }
+
+  bool empty() const { return head_ == tail_; }
+
+  void push(Vertex v) {
+    buf_[tail_] = v;
+    tail_ = next(tail_);
+  }
+
+  Vertex pop() {
+    const Vertex v = buf_[head_];
+    head_ = next(head_);
+    return v;
+  }
+
+  void clear() { head_ = tail_ = 0; }
+
+  std::size_t retained_bytes() const {
+    return buf_.capacity() * sizeof(Vertex);
+  }
+
+ private:
+  std::size_t next(std::size_t i) const {
+    return i + 1 == buf_.size() ? 0 : i + 1;
+  }
+
+  std::vector<Vertex> buf_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+/// The pooled buffer set.  Field groups are disjoint per engine family;
+/// see each engine's header for which fields it claims.
+struct MaxflowWorkspace {
+  // --- push-relabel state (PushRelabel) ---
+  std::vector<Cap> excess;
+  std::vector<std::int32_t> height;
+  std::vector<std::int32_t> height_count;  // gap heuristic: count per height
+  std::vector<std::uint8_t> in_queue;
+  VertexFifo fifo;
+
+  // --- admissible-arc cursors (PushRelabel, Dinic) ---
+  std::vector<std::uint32_t> arc_cursor;
+
+  // --- search scratch (global relabel BFS, FordFulkerson, Dinic) ---
+  std::vector<Vertex> vertex_scratch;      // BFS queues / DFS stacks
+  std::vector<std::uint32_t> visited_mark; // epoch-stamped visited flags
+  std::uint32_t mark_epoch = 0;            // shared so stale marks never alias
+  std::vector<ArcId> parent_arc;           // BFS predecessor arcs
+  std::vector<ArcId> arc_path;             // DFS augmenting path
+  std::vector<std::int32_t> level;         // Dinic level graph
+
+  // --- flow snapshots (Algorithm 6 driver) ---
+  std::vector<Cap> flow_snapshot;
+
+  /// Capacity-based footprint estimate (feeds the workspace.retained_bytes
+  /// gauge); counts retained heap blocks, not live elements.
+  std::size_t retained_bytes() const {
+    return excess.capacity() * sizeof(Cap) +
+           height.capacity() * sizeof(std::int32_t) +
+           height_count.capacity() * sizeof(std::int32_t) +
+           in_queue.capacity() * sizeof(std::uint8_t) +
+           fifo.retained_bytes() +
+           arc_cursor.capacity() * sizeof(std::uint32_t) +
+           vertex_scratch.capacity() * sizeof(Vertex) +
+           visited_mark.capacity() * sizeof(std::uint32_t) +
+           parent_arc.capacity() * sizeof(ArcId) +
+           arc_path.capacity() * sizeof(ArcId) +
+           level.capacity() * sizeof(std::int32_t) +
+           flow_snapshot.capacity() * sizeof(Cap);
+  }
+};
+
+}  // namespace repflow::graph

@@ -21,7 +21,13 @@ class ParallelEngine final : public core::IntegratedEngine {
   void reset_excess_after_restore(graph::Cap sink_excess) override {
     solver_.reset_excess_after_restore(sink_excess);
   }
+  void rebind(graph::Vertex source, graph::Vertex sink) override {
+    solver_.rebind(source, sink);
+  }
   const graph::FlowStats& stats() const override { return solver_.stats(); }
+  std::size_t retained_bytes() const override {
+    return solver_.retained_bytes();
+  }
 
  private:
   ParallelPushRelabel solver_;

@@ -16,6 +16,14 @@ namespace {
 // Index of the current worker thread; routes operation counters to the
 // thread's private slot so the hot path stays write-contention free.
 thread_local int t_worker_index = 0;
+
+// Grow-only replacement for a vector of atomics (not resizable in place);
+// fresh slots are value-initialized to zero, and callers re-initialize the
+// live prefix on every run anyway.
+template <typename T>
+void ensure_atomic_size(std::vector<std::atomic<T>>& v, std::size_t n) {
+  if (v.size() < n) v = std::vector<std::atomic<T>>(n);
+}
 }  // namespace
 
 ParallelPushRelabel::RegistryHandles
@@ -54,39 +62,53 @@ ParallelPushRelabel::ParallelPushRelabel(graph::FlowNetwork& net,
   if (threads < 1) {
     throw std::invalid_argument("ParallelPushRelabel: threads < 1");
   }
-  if (source < 0 || source >= net.num_vertices() || sink < 0 ||
-      sink >= net.num_vertices() || source == sink) {
-    throw std::invalid_argument("ParallelPushRelabel: bad source/sink");
-  }
-  const auto n = static_cast<std::size_t>(net.num_vertices());
-  const auto m = static_cast<std::size_t>(net.num_arcs());
-  adj_offset_.resize(n + 1);
-  adj_arcs_.reserve(m);
-  for (std::size_t v = 0; v < n; ++v) {
-    adj_offset_[v] = static_cast<std::int32_t>(adj_arcs_.size());
-    for (ArcId a : net.out_arcs(static_cast<Vertex>(v))) {
-      adj_arcs_.push_back(a);
-    }
-  }
-  adj_offset_[n] = static_cast<std::int32_t>(adj_arcs_.size());
-  arc_head_.resize(m);
-  for (ArcId a = 0; a < static_cast<ArcId>(m); ++a) {
-    arc_head_[a] = net.head(a);
-  }
-  cap_.resize(m);
-  flow_ = std::vector<std::atomic<Cap>>(m);
-  excess_ = std::vector<std::atomic<Cap>>(n);
-  height_ = std::vector<std::atomic<std::int32_t>>(n);
-  queued_ = std::vector<std::atomic<bool>>(n);
-  queue_ = std::make_unique<MpmcQueue<Vertex>>(2 * n + 4);
   counters_.resize(static_cast<std::size_t>(threads));
   cumulative_.resize(static_cast<std::size_t>(threads));
+  rebind(source, sink);
   if (threads_ > 1) {
     pool_.reserve(static_cast<std::size_t>(threads_));
     for (int t = 0; t < threads_; ++t) {
       pool_.emplace_back([this, t] { pool_entry(t); });
     }
   }
+}
+
+void ParallelPushRelabel::rebind(Vertex source, Vertex sink) {
+  if (source < 0 || source >= net_.num_vertices() || sink < 0 ||
+      sink >= net_.num_vertices() || source == sink) {
+    throw std::invalid_argument("ParallelPushRelabel: bad source/sink");
+  }
+  source_ = source;
+  sink_ = sink;
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  const auto m = static_cast<std::size_t>(net_.num_arcs());
+  adj_offset_.resize(n + 1);
+  adj_arcs_.clear();
+  adj_arcs_.reserve(m);
+  for (std::size_t v = 0; v < n; ++v) {
+    adj_offset_[v] = static_cast<std::int32_t>(adj_arcs_.size());
+    for (ArcId a : net_.out_arcs(static_cast<Vertex>(v))) {
+      adj_arcs_.push_back(a);
+    }
+  }
+  adj_offset_[n] = static_cast<std::int32_t>(adj_arcs_.size());
+  arc_head_.resize(m);
+  for (ArcId a = 0; a < static_cast<ArcId>(m); ++a) {
+    arc_head_[a] = net_.head(a);
+  }
+  cap_.resize(m);
+  ensure_atomic_size(flow_, m);
+  ensure_atomic_size(excess_, n);
+  ensure_atomic_size(height_, n);
+  ensure_atomic_size(queued_, n);
+  if (2 * n + 4 > queue_capacity_) {
+    queue_capacity_ = 2 * n + 4;
+    queue_ = std::make_unique<MpmcQueue<Vertex>>(queue_capacity_);
+  }
+  gr_height_.resize(n);
+  gr_queue_.reserve(n);
+  drain_visit_pos_.resize(n);
+  drain_walk_.reserve(n);
 }
 
 ParallelPushRelabel::~ParallelPushRelabel() {
@@ -146,8 +168,11 @@ void ParallelPushRelabel::exact_heights() {
   ++stats_.global_relabels;
   const auto n = static_cast<std::size_t>(net_.num_vertices());
   constexpr std::int32_t kUnset = -1;
-  std::vector<std::int32_t> h(n, kUnset);
-  std::vector<Vertex> queue;
+  // Runs single-threaded (coordinator with workers parked, or between
+  // runs), so the member scratch is safe to reuse here.
+  std::vector<std::int32_t>& h = gr_height_;
+  std::fill(h.begin(), h.begin() + static_cast<std::ptrdiff_t>(n), kUnset);
+  std::vector<Vertex>& queue = gr_queue_;
   auto residual = [&](ArcId a) {
     return cap_[a] - flow_[a].load(std::memory_order_relaxed);
   };
@@ -329,7 +354,9 @@ void ParallelPushRelabel::drain_stranded_excess() {
   // canceling flow cycles encountered on the way.  Equivalent to phase two
   // of the classic push-relabel algorithm, but without any relabeling.
   const auto n = static_cast<std::size_t>(net_.num_vertices());
-  std::vector<std::int32_t> visit_pos(n, -1);
+  std::vector<std::int32_t>& visit_pos = drain_visit_pos_;
+  std::fill(visit_pos.begin(), visit_pos.begin() + static_cast<std::ptrdiff_t>(n),
+            -1);
   // Finds the in-arc (u -> cur) carrying flow: stored as reverse slot b^1
   // of cur's out-slot b.
   auto inflow_arc = [&](Vertex cur) -> ArcId {
@@ -344,7 +371,8 @@ void ParallelPushRelabel::drain_stranded_excess() {
     while (excess_[v].load(std::memory_order_relaxed) > 0) {
       // Walk backward from v; walk[i] is the flow-carrying arc entering the
       // vertex at depth i.
-      std::vector<ArcId> walk;
+      std::vector<ArcId>& walk = drain_walk_;
+      walk.clear();
       std::fill(visit_pos.begin(), visit_pos.end(), -1);
       visit_pos[v] = 0;
       Vertex cur = v;
@@ -471,6 +499,21 @@ Cap ParallelPushRelabel::resume() {
 void ParallelPushRelabel::reset_excess_after_restore(Cap /*sink_excess*/) {
   // Excess is recomputed from the conserved flows at every resume(); there
   // is no cross-run excess state to realign.
+}
+
+std::size_t ParallelPushRelabel::retained_bytes() const {
+  return adj_offset_.capacity() * sizeof(std::int32_t) +
+         adj_arcs_.capacity() * sizeof(ArcId) +
+         arc_head_.capacity() * sizeof(Vertex) +
+         cap_.capacity() * sizeof(Cap) +
+         flow_.size() * sizeof(std::atomic<Cap>) +
+         excess_.size() * sizeof(std::atomic<Cap>) +
+         height_.size() * sizeof(std::atomic<std::int32_t>) +
+         queued_.size() * sizeof(std::atomic<bool>) +
+         gr_height_.capacity() * sizeof(std::int32_t) +
+         gr_queue_.capacity() * sizeof(Vertex) +
+         drain_visit_pos_.capacity() * sizeof(std::int32_t) +
+         drain_walk_.capacity() * sizeof(ArcId);
 }
 
 }  // namespace repflow::parallel

@@ -53,6 +53,16 @@ class ParallelPushRelabel {
   ParallelPushRelabel(const ParallelPushRelabel&) = delete;
   ParallelPushRelabel& operator=(const ParallelPushRelabel&) = delete;
 
+  /// Re-validate the endpoints and recapture the network topology in
+  /// place.  Shared state (atomic arrays, queue) is reallocated only when
+  /// the network outgrows the retained capacity, so rebinding to a
+  /// same-footprint problem performs zero heap allocations and the worker
+  /// pool persists across queries.
+  void rebind(graph::Vertex source, graph::Vertex sink);
+
+  /// Retained working-memory footprint across all reusable buffers.
+  std::size_t retained_bytes() const;
+
   /// Integrated run from the network's current flows; returns the flow
   /// value reached (the sink's excess).  Worker threads persist across
   /// calls (Algorithm 6 resumes many times per query); the condition
@@ -96,19 +106,32 @@ class ParallelPushRelabel {
   int threads_;
   graph::FlowStats stats_;
 
-  // Flattened topology (CSR) captured at construction.
+  // Flattened topology (CSR) captured at construction / rebind().
   std::vector<std::int32_t> adj_offset_;
   std::vector<graph::ArcId> adj_arcs_;
   std::vector<graph::Vertex> arc_head_;
 
-  // Shared mutable state.
+  // Shared mutable state.  The atomic arrays are grow-only: std::atomic is
+  // neither copyable nor movable, so a vector of atomics cannot resize in
+  // place — rebind() replaces them only when the network outgrows them and
+  // otherwise leaves the (possibly oversized) arrays alone; every loop
+  // bounds itself by the live network sizes, not the array sizes.
   std::vector<graph::Cap> cap_;
   std::vector<std::atomic<graph::Cap>> flow_;
   std::vector<std::atomic<graph::Cap>> excess_;
   std::vector<std::atomic<std::int32_t>> height_;
   std::vector<std::atomic<bool>> queued_;
   std::unique_ptr<MpmcQueue<graph::Vertex>> queue_;
+  std::size_t queue_capacity_ = 0;
   std::atomic<std::int64_t> active_count_{0};
+
+  // Single-threaded scratch (exact_heights runs with workers parked;
+  // drain_stranded_excess after they quiesce) kept across runs so the
+  // steady-state path allocates nothing.
+  std::vector<std::int32_t> gr_height_;
+  std::vector<graph::Vertex> gr_queue_;
+  std::vector<std::int32_t> drain_visit_pos_;
+  std::vector<graph::ArcId> drain_walk_;
 
   // Global-relabel coordination (atomics only; no locks on the hot path).
   std::atomic<int> gr_state_{0};   // 0 = normal, 1 = pause requested

@@ -2,7 +2,9 @@
 // max-flow engines, validity checks, min-cut, decomposition, DIMACS I/O.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 
 #include "graph/checks.h"
 #include "graph/dimacs.h"
@@ -324,6 +326,75 @@ TEST(Generators, RejectBadShapes) {
   EXPECT_THROW(random_bipartite(4, 4, 9, 3, rng), std::invalid_argument);
   EXPECT_THROW(random_general(1, 5, 3, rng), std::invalid_argument);
   EXPECT_THROW(layered_network(0, 5, 3, rng), std::invalid_argument);
+}
+
+TEST(FlowNetwork, AddVerticesGuardsInt32Overflow) {
+  FlowNetwork net(2);
+  // The guard must fire *before* any allocation is attempted.
+  EXPECT_THROW(net.add_vertices(std::numeric_limits<Vertex>::max()),
+               std::length_error);
+  EXPECT_THROW(net.add_vertices(std::numeric_limits<Vertex>::max() - 1),
+               std::length_error);
+  EXPECT_EQ(net.num_vertices(), 2);  // unchanged after the throw
+  net.add_vertices(3);
+  EXPECT_EQ(net.num_vertices(), 5);
+  EXPECT_THROW(net.add_vertices(std::numeric_limits<Vertex>::max() - 4),
+               std::length_error);
+}
+
+TEST(FlowNetwork, ResetRebuildsInPlace) {
+  Vertex s, t;
+  FlowNetwork net = clrs_network(s, t);
+  EXPECT_EQ(PushRelabel(net, s, t).solve_from_zero().value, 23);
+  const std::size_t retained = net.retained_bytes();
+  EXPECT_GT(retained, 0u);
+
+  // reset() drops vertices, arcs, and flows but keeps the buffers.
+  net.reset(4);
+  EXPECT_EQ(net.num_vertices(), 4);
+  EXPECT_EQ(net.num_arcs(), 0);
+  EXPECT_EQ(net.num_edges(), 0);
+  net.add_arc(0, 1, 5);
+  net.add_arc(1, 3, 5);
+  net.add_arc(0, 2, 7);
+  net.add_arc(2, 3, 2);
+  EXPECT_EQ(PushRelabel(net, 0, 3).solve_from_zero().value, 7);
+  EXPECT_EQ(net.retained_bytes(), retained);  // no buffer was released
+
+  // Same network again after another reset: identical rebuild.
+  net.reset(4);
+  net.add_arc(0, 1, 5);
+  net.add_arc(1, 3, 5);
+  net.add_arc(0, 2, 7);
+  net.add_arc(2, 3, 2);
+  EXPECT_EQ(Dinic(net, 0, 3).solve_from_zero().value, 7);
+}
+
+TEST(FlowNetwork, CsrAdjacencyPreservesInsertionOrder) {
+  // out_arcs(v) must list arcs in insertion order (forward and reverse
+  // slots alike) — the engines' determinism depends on it.
+  FlowNetwork net(4);
+  const ArcId a01 = net.add_arc(0, 1, 1);
+  const ArcId a02 = net.add_arc(0, 2, 2);
+  const ArcId a12 = net.add_arc(1, 2, 3);
+  const ArcId a13 = net.add_arc(1, 3, 4);
+  const auto out0 = net.out_arcs(0);
+  ASSERT_EQ(out0.size(), 2u);
+  EXPECT_EQ(out0[0], a01);
+  EXPECT_EQ(out0[1], a02);
+  const auto out1 = net.out_arcs(1);  // reverse of a01, then a12, a13
+  ASSERT_EQ(out1.size(), 3u);
+  EXPECT_EQ(out1[0], net.reverse(a01));
+  EXPECT_EQ(out1[1], a12);
+  EXPECT_EQ(out1[2], a13);
+  // Adding an arc invalidates and lazily rebuilds the CSR cache.
+  const ArcId a23 = net.add_arc(2, 3, 5);
+  const auto out2 = net.out_arcs(2);
+  ASSERT_EQ(out2.size(), 3u);
+  EXPECT_EQ(out2[0], net.reverse(a02));
+  EXPECT_EQ(out2[1], net.reverse(a12));
+  EXPECT_EQ(out2[2], a23);
+  EXPECT_EQ(net.out_degree(2), 3);
 }
 
 }  // namespace

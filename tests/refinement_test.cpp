@@ -2,7 +2,9 @@
 // the incremental query session.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
+#include <vector>
 
 #include "core/incremental_session.h"
 #include "core/min_work.h"
@@ -210,6 +212,88 @@ TEST(IncrementalSession, ResponseTimeIsMonotoneInQuerySize) {
   }
   EXPECT_EQ(session.num_buckets(), n * n);
   EXPECT_GT(session.capacity_steps(), 0);
+}
+
+TEST(IncrementalSession, RandomizedGrowSequencesMatchFromScratchSolve) {
+  // Satellite of the zero-allocation refactor: randomized grow-sequences
+  // (add a random batch -> reoptimize -> add more) across several seeds and
+  // system shapes, each intermediate optimum checked against a from-scratch
+  // solve() of the exact same bucket set.
+  for (std::uint64_t seed = 100; seed < 106; ++seed) {
+    Rng rng(seed);
+    const std::int32_t n = 3 + static_cast<std::int32_t>(rng.below(4));
+    const std::int32_t sites = 1 + static_cast<std::int32_t>(rng.below(3));
+    const auto sys = workload::make_experiment_system(sites, n, rng);
+    const std::int32_t disks = sys.total_disks();
+    core::IncrementalQuerySession session(sys);
+    std::vector<std::vector<core::DiskId>> so_far;
+    const std::size_t total = 4 + rng.below(12);
+    while (so_far.size() < total) {
+      const std::size_t batch =
+          std::min<std::size_t>(1 + rng.below(3), total - so_far.size());
+      for (std::size_t i = 0; i < batch; ++i) {
+        // Random replica set: 1-3 distinct disks.
+        std::vector<core::DiskId> replicas;
+        const std::size_t copies = 1 + rng.below(3);
+        while (replicas.size() < copies) {
+          const auto d = static_cast<core::DiskId>(rng.below(
+              static_cast<std::uint64_t>(disks)));
+          if (std::find(replicas.begin(), replicas.end(), d) ==
+              replicas.end()) {
+            replicas.push_back(d);
+          }
+        }
+        session.add_bucket(replicas);
+        so_far.push_back(replicas);
+      }
+      const double incremental = session.reoptimize();
+      core::RetrievalProblem scratch;
+      scratch.system = sys;
+      scratch.replicas = so_far;
+      scratch.validate();
+      const double expected =
+          core::solve(scratch, core::SolverKind::kPushRelabelBinary)
+              .response_time_ms;
+      ASSERT_NEAR(incremental, expected, kTimeEps)
+          << "seed " << seed << " after " << so_far.size() << " buckets";
+      EXPECT_TRUE(core::check_schedule(scratch, session.schedule()).empty());
+    }
+  }
+}
+
+TEST(IncrementalSession, ResetRestoresCleanReusableState) {
+  Rng rng(61);
+  const std::int32_t n = 5;
+  const auto rep =
+      decluster::make_orthogonal(n, decluster::SiteMapping::kCopyPerSite);
+  const auto sys = workload::make_experiment_system(3, n, rng);
+
+  // First life: grow and solve a query.
+  core::IncrementalQuerySession session(sys);
+  for (decluster::BucketId b = 0; b < 2 * n; ++b) {
+    session.add_bucket(rep.replica_disks_unique(b / n, b % n));
+  }
+  const double first_life = session.reoptimize();
+  EXPECT_GT(first_life, 0.0);
+
+  // reset() must restore a clean state: no buckets, zero steps, and an
+  // empty query solves to zero.
+  session.reset();
+  EXPECT_EQ(session.num_buckets(), 0);
+  EXPECT_EQ(session.capacity_steps(), 0);
+  EXPECT_NEAR(session.reoptimize(), 0.0, kTimeEps);
+
+  // Second life on the *same* session object must reproduce exactly what a
+  // fresh session computes — stale flows/capacities would skew it.
+  core::IncrementalQuerySession fresh(sys);
+  for (decluster::BucketId b = 0; b < 3 * n; ++b) {
+    const auto replicas = rep.replica_disks_unique(b / n, b % n);
+    session.add_bucket(replicas);
+    fresh.add_bucket(replicas);
+  }
+  EXPECT_NEAR(session.reoptimize(), fresh.reoptimize(), kTimeEps);
+  EXPECT_EQ(session.schedule().per_disk_count,
+            fresh.schedule().per_disk_count);
 }
 
 TEST(IncrementalSession, ApiGuards) {
