@@ -5,7 +5,9 @@
 #include <cstdlib>
 #include <functional>
 #include <stdexcept>
+#include <utility>
 
+#include "analysis/schedule_invariants.h"
 #include "obs/export_json.h"
 #include "support/rng.h"
 #include "support/timing.h"
@@ -27,6 +29,9 @@ SweepConfig parse_sweep(int argc, const char* const* argv,
   flags.define("metrics-json", "",
                "write a JSON metrics/span sidecar after the sweep");
   flags.define("verify", "false", "cross-check optimal response times");
+  flags.define("check", "false",
+               "verify flow/schedule invariants on every result "
+               "(exit 3 on violation)");
   flags.define("full", "false", "paper-scale sweep (N<=100, 1000 queries)");
   flags.parse(argc, argv);
   if (flags.help_requested()) {
@@ -43,6 +48,7 @@ SweepConfig parse_sweep(int argc, const char* const* argv,
   config.csv = flags.get("csv");
   config.metrics_json = flags.get("metrics-json");
   config.verify = flags.get_bool("verify");
+  config.check = flags.get_bool("check");
   if (flags.get_bool("full")) {
     config.nmax = 100;
     config.queries = 1000;
@@ -56,19 +62,20 @@ SweepConfig parse_sweep(int argc, const char* const* argv,
 
 double time_solve_ms(const core::RetrievalProblem& problem,
                      core::SolverKind kind, int threads,
-                     double* response_ms) {
+                     double* response_ms, core::SolveResult* result_out) {
   StopWatch sw;
   sw.start();
-  const core::SolveResult result = core::solve(problem, kind, threads);
+  core::SolveResult result = core::solve(problem, kind, threads);
   sw.stop();
   if (response_ms) *response_ms = result.response_time_ms;
+  if (result_out) *result_out = std::move(result);
   return sw.elapsed_ms();
 }
 
 std::vector<SolverTiming> run_cell(const CellSpec& spec,
                                    const std::vector<core::SolverKind>& kinds,
                                    std::int32_t count, std::uint64_t seed,
-                                   int threads, bool verify) {
+                                   int threads, bool verify, bool check) {
   // Workload materialization is seeded per cell so every solver (and every
   // binary) sees the identical query stream.
   Rng rng(seed ^ (static_cast<std::uint64_t>(spec.experiment) << 40) ^
@@ -94,10 +101,21 @@ std::vector<SolverTiming> run_cell(const CellSpec& spec,
     SolverTiming t;
     t.kind = kind;
     t.queries = count;
+    core::SolveResult checked;
     for (const auto& problem : problems) {
       double response = 0.0;
-      t.total_ms += time_solve_ms(problem, kind, threads, &response);
+      t.total_ms += time_solve_ms(problem, kind, threads, &response,
+                                  check ? &checked : nullptr);
       t.total_response_ms += response;
+      if (check) {
+        const auto report = analysis::check_solve_result(problem, checked);
+        if (!report.ok()) {
+          std::fprintf(stderr, "CHECK FAILED: %s (N=%d, experiment %d)\n%s\n",
+                       core::solver_name(kind), spec.n, spec.experiment,
+                       report.to_string().c_str());
+          std::exit(3);
+        }
+      }
     }
     t.avg_ms = t.total_ms / static_cast<double>(count);
     timings.push_back(t);
@@ -132,7 +150,7 @@ void sweep_n(const SweepConfig& config, const CellSpec& base,
     CellSpec spec = base;
     spec.n = n;
     emit_row(n, run_cell(spec, kinds, config.queries, config.seed,
-                         config.threads, config.verify));
+                         config.threads, config.verify, config.check));
   }
   maybe_write_metrics_sidecar(config);
 }
@@ -151,10 +169,10 @@ void print_banner(const std::string& title, const SweepConfig& config) {
   std::printf("== %s ==\n", title.c_str());
   std::printf(
       "sweep: N = %d..%d step %d | %d queries/cell | seed %llu | %d "
-      "threads%s\n\n",
+      "threads%s%s\n\n",
       config.nmin, config.nmax, config.nstep, config.queries,
       static_cast<unsigned long long>(config.seed), config.threads,
-      config.verify ? " | verify on" : "");
+      config.verify ? " | verify on" : "", config.check ? " | check on" : "");
 }
 
 }  // namespace repflow::bench

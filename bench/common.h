@@ -34,6 +34,7 @@ struct SweepConfig {
   std::string csv;             // optional CSV mirror ("" = disabled)
   std::string metrics_json;    // optional JSON metrics sidecar ("" = off)
   bool verify = false;         // cross-check response times across solvers
+  bool check = false;          // run the invariant suite on every result
 };
 
 /// Parse the standard sweep flags; prints help and exits(0) on --help.
@@ -64,11 +65,16 @@ struct SolverTiming {
 /// Materialize the cell (allocation + system + `count` queries) and time
 /// every solver in `kinds` over the same query batch.  When `verify` is
 /// set, asserts all solvers agree on the summed optimal response time
-/// (the paper's own sanity check in Section VI-F).
+/// (the paper's own sanity check in Section VI-F).  When `check` is set,
+/// every solve result additionally passes the analysis-layer invariant
+/// suite (flow conservation, schedule feasibility, recomputed response
+/// time); a violation prints the report and exits with status 3.  Checking
+/// happens outside the timed region, so reported timings stay comparable.
 std::vector<SolverTiming> run_cell(const CellSpec& spec,
                                    const std::vector<core::SolverKind>& kinds,
                                    std::int32_t count, std::uint64_t seed,
-                                   int threads, bool verify);
+                                   int threads, bool verify,
+                                   bool check = false);
 
 /// Sweep N over [nmin, nmax] in nstep increments, invoking `emit_row` with
 /// the per-solver timings for each N.
@@ -78,10 +84,13 @@ void sweep_n(const SweepConfig& config, const CellSpec& base,
                                       const std::vector<SolverTiming>&)>&
                  emit_row);
 
-/// Wall-clock one solver run on one problem (construction + solve).
+/// Wall-clock one solver run on one problem (construction + solve).  When
+/// `result_out` is non-null the full result is copied there (outside the
+/// timed region) for callers that inspect or verify it.
 double time_solve_ms(const core::RetrievalProblem& problem,
                      core::SolverKind kind, int threads,
-                     double* response_ms = nullptr);
+                     double* response_ms = nullptr,
+                     core::SolveResult* result_out = nullptr);
 
 /// Standard header line printed by every bench binary.
 void print_banner(const std::string& title, const SweepConfig& config);

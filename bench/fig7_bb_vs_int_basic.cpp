@@ -43,7 +43,8 @@ void run_panel(const SweepConfig& config, const char* label, QueryType qtype,
       spec.n = n;
       const auto timings = bench::run_cell(
           spec, {SolverKind::kBlackBoxBinary, SolverKind::kPushRelabelBinary},
-          config.queries, config.seed, config.threads, config.verify);
+          config.queries, config.seed, config.threads, config.verify,
+          config.check);
       const double ratio =
           timings[1].avg_ms > 0 ? timings[0].avg_ms / timings[1].avg_ms : 0.0;
       table.add_cell(ratio, 3);

@@ -53,7 +53,8 @@ int main(int argc, char** argv) {
       spec.n = n;
       const auto timings = bench::run_cell(
           spec, {SolverKind::kBlackBoxBinary, SolverKind::kPushRelabelBinary},
-          config.queries, config.seed, config.threads, config.verify);
+          config.queries, config.seed, config.threads, config.verify,
+          config.check);
       const double bb = timings[0].avg_ms;
       const double integrated = timings[1].avg_ms;
       const double ratio = integrated > 0 ? bb / integrated : 0.0;

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/schedule_invariants.h"
 #include "core/solve.h"
 #include "core/stream.h"
 #include "core/trace.h"
@@ -115,6 +116,9 @@ int main(int argc, char** argv) {
   flags.define("csv-metrics", "", "dump the metrics snapshot as CSV");
   flags.define("csv-spans", "", "dump the span timeline as CSV");
   flags.define("no-spans", "false", "leave the span tracer disabled");
+  flags.define("check", "false",
+               "verify flow/schedule invariants on every stage-1 result "
+               "(exit 3 on violation)");
   try {
     flags.parse(argc, argv);
     if (flags.help_requested() || flags.positional().empty()) {
@@ -132,6 +136,8 @@ int main(int argc, char** argv) {
     const auto stream_kind = parse_solver(flags.get("stream-solver"));
     const int threads = static_cast<int>(flags.get_int("threads"));
     const double gap_ms = flags.get_double("interarrival");
+    const bool check = flags.get_bool("check");
+    std::size_t checked = 0;
 
     obs::Tracer::global().set_enabled(!flags.get_bool("no-spans"));
     obs::Tracer::global().clear();
@@ -151,7 +157,18 @@ int main(int argc, char** argv) {
                                                ".solve_ms")
                                     .summary();
       for (std::size_t qi = 0; qi < trace.queries.size(); ++qi) {
-        const auto result = core::solve(trace.problem(qi), kind, threads);
+        const auto problem = trace.problem(qi);
+        const auto result = core::solve(problem, kind, threads);
+        if (check) {
+          const auto report = analysis::check_solve_result(problem, result);
+          if (!report.ok()) {
+            std::fprintf(stderr, "CHECK FAILED: %s, query %zu\n%s\n",
+                         core::solver_name(kind), qi,
+                         report.to_string().c_str());
+            return 3;
+          }
+          ++checked;
+        }
         response_sum += result.response_time_ms;
         probes += result.binary_probes;
         steps += result.capacity_steps;
@@ -170,6 +187,10 @@ int main(int argc, char** argv) {
       compare.end_row();
     }
     compare.print(std::cout);
+    if (check) {
+      std::printf("invariant checks: %zu results verified, 0 violations\n",
+                  checked);
+    }
 
     // Stage 2: stream replay (queue-wait vs. solve-time attribution).
     std::printf("\n== stage 2: stream replay (%s, gap %.1f ms) ==\n",

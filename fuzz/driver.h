@@ -1,0 +1,117 @@
+// Entry-point glue shared by the fuzz harnesses.
+//
+// Each harness defines the libFuzzer entry point LLVMFuzzerTestOneInput plus
+// a seed_corpus() of well-formed inputs.  Under clang the harness links
+// -fsanitize=fuzzer and libFuzzer drives the entry point directly.  Every
+// other toolchain (the repository's default gcc image has no libFuzzer)
+// compiles with REPFLOW_FUZZ_STANDALONE, which provides a main() that
+//
+//   * replays any corpus files passed as arguments (crash reproduction), and
+//   * otherwise runs a deterministic smoke loop: the seed corpus verbatim,
+//     random byte mutations of the seeds, and pure random inputs.
+//
+// The smoke loop is what the CI sanitize job runs (bounded iterations, well
+// under its 60s budget); it is a regression net, not a substitute for a real
+// libFuzzer campaign.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace repflow::fuzz {
+/// Well-formed inputs the standalone driver replays and mutates (and handy
+/// starting files for a real libFuzzer corpus directory).
+std::vector<std::string> seed_corpus();
+}  // namespace repflow::fuzz
+
+#if defined(REPFLOW_FUZZ_STANDALONE)
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/rng.h"
+
+namespace repflow::fuzz {
+namespace {
+
+void run_one(const std::string& bytes) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+}
+
+int replay_files(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open corpus file %s\n", argv[i]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::fprintf(stderr, "replay %s (%zu bytes)\n", argv[i],
+                 buffer.str().size());
+    run_one(buffer.str());
+  }
+  return 0;
+}
+
+int smoke_loop() {
+  // Deterministic: same binary, same inputs, same verdict.  Override the
+  // effort with REPFLOW_FUZZ_ITERS when hunting locally.
+  std::uint64_t iterations = 1000;
+  if (const char* env = std::getenv("REPFLOW_FUZZ_ITERS")) {
+    iterations = static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  Rng rng(0xF022EDBEEFULL);
+  const std::vector<std::string> seeds = seed_corpus();
+  for (const std::string& seed : seeds) run_one(seed);
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    std::string input;
+    if (!seeds.empty() && rng.chance(0.7)) {
+      // Mutate a seed: byte flips, truncation, or duplication.
+      input = seeds[static_cast<std::size_t>(rng.below(seeds.size()))];
+      const std::uint64_t edits = 1 + rng.below(8);
+      for (std::uint64_t e = 0; e < edits && !input.empty(); ++e) {
+        const auto at = static_cast<std::size_t>(rng.below(input.size()));
+        switch (rng.below(4)) {
+          case 0:
+            input[at] = static_cast<char>(rng.below(256));
+            break;
+          case 1:
+            input.erase(at, 1 + rng.below(4));
+            break;
+          case 2:
+            input.insert(at, 1, static_cast<char>(rng.below(256)));
+            break;
+          default:
+            input += input.substr(at, 16);
+            break;
+        }
+      }
+    } else {
+      input.resize(rng.below(513));
+      for (auto& c : input) c = static_cast<char>(rng.below(256));
+    }
+    run_one(input);
+  }
+  std::fprintf(stderr, "smoke loop done: %llu inputs, no crash\n",
+               static_cast<unsigned long long>(iterations + seeds.size()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace repflow::fuzz
+
+int main(int argc, char** argv) {
+  if (argc > 1) return repflow::fuzz::replay_files(argc, argv);
+  return repflow::fuzz::smoke_loop();
+}
+
+#endif  // REPFLOW_FUZZ_STANDALONE

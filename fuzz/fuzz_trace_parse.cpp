@@ -1,0 +1,111 @@
+// Fuzz target for the workload trace parser (core/trace.h).
+//
+// Properties checked on every input:
+//   * read_trace_string either returns a Trace or throws std::runtime_error —
+//     any other escape (crash, UB, different exception type) is a bug;
+//   * a successfully parsed trace re-serializes to text the parser accepts,
+//     and serialize(parse(serialize(t))) is byte-identical to serialize(t)
+//     (the serialized form is a fixed point);
+//   * every query converts through Trace::problem() into either a valid
+//     RetrievalProblem or a clean std::invalid_argument from validate().
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+#include "driver.h"
+
+namespace {
+
+[[noreturn]] void die(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "fuzz_trace_parse: %s\n%s\n", what, detail.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Large inputs only slow the parser down without new code paths; huge
+  // numeric literals (giant disk counts) are still reachable at this size.
+  constexpr std::size_t kMaxInput = 1 << 16;
+  if (size > kMaxInput) size = kMaxInput;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  repflow::core::Trace trace;
+  try {
+    trace = repflow::core::read_trace_string(text);
+  } catch (const std::runtime_error&) {
+    return 0;  // documented rejection of malformed input
+  } catch (const std::bad_alloc&) {
+    // A syntactically valid "system" line may declare more disks than this
+    // process can allocate; treat resource exhaustion as rejection.
+    return 0;
+  }
+
+  const std::string first = repflow::core::write_trace_string(trace);
+  repflow::core::Trace reparsed;
+  try {
+    reparsed = repflow::core::read_trace_string(first);
+  } catch (const std::exception& e) {
+    die("serializer emitted text the parser rejects", e.what() +
+                                                          ("\n--- emitted ---\n" + first));
+  }
+  const std::string second = repflow::core::write_trace_string(reparsed);
+  if (second != first) {
+    die("serialization is not a fixed point",
+        "--- first ---\n" + first + "--- second ---\n" + second);
+  }
+
+  // Convert a bounded number of queries into problem instances; the parser
+  // is allowed to accept traces whose semantics validate() rejects (e.g. a
+  // non-positive transfer cost), but nothing else may escape.
+  const std::size_t limit = reparsed.queries.size() < 8
+                                ? reparsed.queries.size()
+                                : static_cast<std::size_t>(8);
+  for (std::size_t i = 0; i < limit; ++i) {
+    try {
+      (void)reparsed.problem(i);
+    } catch (const std::invalid_argument&) {
+      // validate() rejected the instance — acceptable.
+    }
+  }
+  return 0;
+}
+
+namespace repflow::fuzz {
+
+std::vector<std::string> seed_corpus() {
+  return {
+      // Canonical two-disk trace with two queries.
+      "trace v1\n"
+      "system 1 2\n"
+      "disk 0 A 1.5 0.25 0\n"
+      "disk 1 B 2 0 1\n"
+      "query 0 3\n"
+      "bucket 10 0\n"
+      "bucket 11 0 1\n"
+      "bucket 12 1\n"
+      "query 1 1\n"
+      "bucket 7 1\n",
+      // Degenerate but legal: a query with zero buckets.
+      "trace v1\n"
+      "system 1 1\n"
+      "disk 0 ? 1 0 0\n"
+      "query 0 0\n",
+      // Multi-site system, no queries.
+      "trace v1\n"
+      "system 2 2\n"
+      "disk 0 A 1 0 0\n"
+      "disk 1 A 1 0 0\n"
+      "disk 2 B 3 5 2\n"
+      "disk 3 B 3 5 2\n",
+  };
+}
+
+}  // namespace repflow::fuzz

@@ -1,0 +1,66 @@
+// Compile-time gate for the correctness-analysis layer.
+//
+// The invariant checkers of src/analysis/ are always *linkable* (tests and
+// tools call them unconditionally), but the hooks woven into the engine and
+// solver hot paths are compiled in only when the build sets
+// REPFLOW_CHECK_INVARIANTS (cmake -DREPFLOW_CHECK_INVARIANTS=ON).  Release
+// builds with the option off pay nothing: every REPFLOW_CHECK_* macro below
+// expands to ((void)0).
+//
+// The seam macros throw analysis::InvariantViolation on failure, so a
+// violated invariant stops the run at the operation that broke it instead of
+// surfacing queries later as a silently suboptimal schedule.
+#pragma once
+
+#if defined(REPFLOW_CHECK_INVARIANTS) && REPFLOW_CHECK_INVARIANTS
+#define REPFLOW_INVARIANTS_ENABLED 1
+#else
+#define REPFLOW_INVARIANTS_ENABLED 0
+#endif
+
+#if REPFLOW_INVARIANTS_ENABLED
+
+#include "analysis/flow_invariants.h"
+
+/// Full flow validity (arc bounds + antisymmetry + conservation + CSR
+/// adjacency integrity) — for seams where the flow must be a *flow*, i.e.
+/// every interior vertex conserved (post-run, post-solve).
+#define REPFLOW_CHECK_FLOW(net, source, sink, context)            \
+  ::repflow::analysis::enforce(                                   \
+      ::repflow::analysis::check_flow_invariants((net), (source), \
+                                                 (sink)),         \
+      (context))
+
+/// Preflow validity (arc bounds + antisymmetry + non-negative interior
+/// excess + CSR integrity) — for mid-run seams where excess may legally sit
+/// on interior vertices (post-augment in Algorithms 1/2, mid push-relabel).
+#define REPFLOW_CHECK_PREFLOW(net, source, sink, context)            \
+  ::repflow::analysis::enforce(                                      \
+      ::repflow::analysis::check_preflow_invariants((net), (source), \
+                                                    (sink)),         \
+      (context))
+
+/// Max-flow termination: flow value equals the residual min-cut capacity
+/// (and hence no augmenting path remains).
+#define REPFLOW_CHECK_MAXFLOW(net, source, sink, context)            \
+  ::repflow::analysis::enforce(                                      \
+      ::repflow::analysis::check_maxflow_optimality((net), (source), \
+                                                    (sink)),         \
+      (context))
+
+/// Height-function validity for push-relabel engines after a (global)
+/// relabel batch: h(s)=n, h(t)=0, and h(v) <= h(w)+1 on every residual arc.
+#define REPFLOW_CHECK_LABELING(net, source, sink, height, context) \
+  ::repflow::analysis::enforce(                                    \
+      ::repflow::analysis::check_valid_labeling((net), (source),   \
+                                                (sink), (height)), \
+      (context))
+
+#else  // !REPFLOW_INVARIANTS_ENABLED
+
+#define REPFLOW_CHECK_FLOW(net, source, sink, context) ((void)0)
+#define REPFLOW_CHECK_PREFLOW(net, source, sink, context) ((void)0)
+#define REPFLOW_CHECK_MAXFLOW(net, source, sink, context) ((void)0)
+#define REPFLOW_CHECK_LABELING(net, source, sink, height, context) ((void)0)
+
+#endif  // REPFLOW_INVARIANTS_ENABLED

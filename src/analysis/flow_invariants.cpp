@@ -1,0 +1,238 @@
+#include "analysis/flow_invariants.h"
+
+#include <atomic>
+#include <sstream>
+
+#include "graph/checks.h"
+
+namespace repflow::analysis {
+
+namespace {
+std::atomic<std::uint64_t> g_checks_run{0};
+std::atomic<std::uint64_t> g_violations_seen{0};
+
+std::string arc_label(const graph::FlowNetwork& net, graph::ArcId a) {
+  std::ostringstream os;
+  os << "arc " << a << " (" << net.tail(a) << "->" << net.head(a) << ")";
+  return os.str();
+}
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i) os << "; ";
+    os << violations[i];
+  }
+  return os.str();
+}
+
+void InvariantReport::merge(InvariantReport other) {
+  for (auto& v : other.violations) violations.push_back(std::move(v));
+}
+
+void enforce(const InvariantReport& report, const char* context) {
+  g_checks_run.fetch_add(1, std::memory_order_relaxed);
+  if (report.ok()) return;
+  g_violations_seen.fetch_add(report.violations.size(),
+                              std::memory_order_relaxed);
+  throw InvariantViolation(std::string(context) + ": " + report.to_string());
+}
+
+std::uint64_t invariant_checks_run() {
+  return g_checks_run.load(std::memory_order_relaxed);
+}
+
+std::uint64_t invariant_violations_seen() {
+  return g_violations_seen.load(std::memory_order_relaxed);
+}
+
+InvariantReport check_arc_bounds(const graph::FlowNetwork& net) {
+  InvariantReport report;
+  for (graph::ArcId a = 0; a < net.num_arcs(); a += 2) {
+    const graph::Cap f = net.flow(a);
+    if (f < 0) {
+      report.fail("negative flow " + std::to_string(f) + " on " +
+                  arc_label(net, a));
+    }
+    if (f > net.capacity(a)) {
+      report.fail("capacity exceeded on " + arc_label(net, a) + ": flow " +
+                  std::to_string(f) + " > cap " +
+                  std::to_string(net.capacity(a)));
+    }
+    if (net.flow(net.reverse(a)) != -f) {
+      report.fail("antisymmetry broken on pair of " + arc_label(net, a) +
+                  ": reverse flow " +
+                  std::to_string(net.flow(net.reverse(a))) + " != " +
+                  std::to_string(-f));
+    }
+  }
+  return report;
+}
+
+InvariantReport check_conservation(const graph::FlowNetwork& net,
+                                   graph::Vertex source,
+                                   graph::Vertex sink) {
+  InvariantReport report;
+  for (graph::Vertex v = 0; v < net.num_vertices(); ++v) {
+    if (v == source || v == sink) continue;
+    const graph::Cap net_out = net.net_out_flow(v);
+    if (net_out != 0) {
+      report.fail("conservation broken at vertex " + std::to_string(v) +
+                  ": net out-flow " + std::to_string(net_out));
+    }
+  }
+  return report;
+}
+
+InvariantReport check_preflow_excess(const graph::FlowNetwork& net,
+                                     graph::Vertex source,
+                                     graph::Vertex sink) {
+  InvariantReport report;
+  for (graph::Vertex v = 0; v < net.num_vertices(); ++v) {
+    if (v == source || v == sink) continue;
+    // Excess = inflow - outflow = -net_out_flow; a preflow may park excess
+    // on interior vertices but a vertex can never emit more than it got.
+    const graph::Cap excess = -net.net_out_flow(v);
+    if (excess < 0) {
+      report.fail("negative excess " + std::to_string(excess) +
+                  " at vertex " + std::to_string(v));
+    }
+  }
+  return report;
+}
+
+InvariantReport check_csr_adjacency(const graph::FlowNetwork& net) {
+  InvariantReport report;
+  const graph::Vertex n = net.num_vertices();
+  const graph::ArcId m = net.num_arcs();
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(m), 0);
+  // Endpoint range of every arc slot (dangling arcs after reset/rebuild).
+  for (graph::ArcId a = 0; a < m; ++a) {
+    if (net.head(a) < 0 || net.head(a) >= n) {
+      report.fail(arc_label(net, a) + " has out-of-range head " +
+                  std::to_string(net.head(a)));
+      return report;  // per-vertex scan below would index out of range
+    }
+  }
+  std::int64_t total_listed = 0;
+  const graph::ArcId* prev_end = nullptr;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    const std::span<const graph::ArcId> arcs = net.out_arcs(v);
+    if (static_cast<std::int64_t>(arcs.size()) != net.out_degree(v)) {
+      report.fail("CSR span of vertex " + std::to_string(v) + " has " +
+                  std::to_string(arcs.size()) + " arcs, out_degree says " +
+                  std::to_string(net.out_degree(v)));
+    }
+    // Offsets monotone and gap-free: each span starts where the previous
+    // one ended (spans all view one contiguous arc-id array, and empty
+    // spans still carry their offset position).
+    if (prev_end != nullptr && arcs.data() != prev_end) {
+      report.fail("CSR offset discontinuity at vertex " + std::to_string(v));
+    }
+    prev_end = arcs.data() + arcs.size();
+    graph::ArcId prev_arc = graph::kInvalidArc;
+    for (const graph::ArcId a : arcs) {
+      ++total_listed;
+      if (a < 0 || a >= m) {
+        report.fail("CSR lists out-of-range arc id " + std::to_string(a) +
+                    " at vertex " + std::to_string(v));
+        continue;
+      }
+      if (net.tail(a) != v) {
+        report.fail(arc_label(net, a) + " listed under vertex " +
+                    std::to_string(v) + " but its tail is " +
+                    std::to_string(net.tail(a)));
+      }
+      if (seen[static_cast<std::size_t>(a)]++) {
+        report.fail(arc_label(net, a) + " listed more than once");
+      }
+      // rebuild_csr scatters arc ids in ascending order, so each vertex's
+      // range preserves insertion order; engines rely on this for
+      // deterministic traversal.
+      if (prev_arc != graph::kInvalidArc && a <= prev_arc) {
+        report.fail("CSR order regression at vertex " + std::to_string(v) +
+                    ": arc " + std::to_string(a) + " after " +
+                    std::to_string(prev_arc));
+      }
+      prev_arc = a;
+    }
+  }
+  if (total_listed != m) {
+    report.fail("CSR lists " + std::to_string(total_listed) +
+                " arc slots, network has " + std::to_string(m));
+  }
+  return report;
+}
+
+InvariantReport check_valid_labeling(const graph::FlowNetwork& net,
+                                     graph::Vertex source,
+                                     graph::Vertex sink,
+                                     std::span<const std::int32_t> height) {
+  InvariantReport report;
+  const graph::Vertex n = net.num_vertices();
+  if (static_cast<std::int64_t>(height.size()) < n) {
+    report.fail("height array smaller than vertex count");
+    return report;
+  }
+  if (height[static_cast<std::size_t>(source)] != n) {
+    report.fail("height[source] = " +
+                std::to_string(height[static_cast<std::size_t>(source)]) +
+                ", expected n = " + std::to_string(n));
+  }
+  if (height[static_cast<std::size_t>(sink)] != 0) {
+    report.fail("height[sink] = " +
+                std::to_string(height[static_cast<std::size_t>(sink)]) +
+                ", expected 0");
+  }
+  for (graph::ArcId a = 0; a < net.num_arcs(); ++a) {
+    if (net.residual(a) <= 0) continue;
+    const auto hv = height[static_cast<std::size_t>(net.tail(a))];
+    const auto hw = height[static_cast<std::size_t>(net.head(a))];
+    if (hv > hw + 1) {
+      report.fail("labeling broken on residual " + arc_label(net, a) +
+                  ": h(tail)=" + std::to_string(hv) +
+                  " > h(head)+1=" + std::to_string(hw + 1));
+    }
+  }
+  return report;
+}
+
+InvariantReport check_maxflow_optimality(const graph::FlowNetwork& net,
+                                         graph::Vertex source,
+                                         graph::Vertex sink) {
+  InvariantReport report;
+  const graph::Cut cut = graph::residual_min_cut(net, source);
+  if (cut.source_side[static_cast<std::size_t>(sink)]) {
+    report.fail("augmenting path remains: sink residually reachable");
+    return report;
+  }
+  const graph::Cap value = net.flow_into(sink);
+  if (value != cut.capacity) {
+    report.fail("max-flow certificate broken: flow value " +
+                std::to_string(value) + " != min-cut capacity " +
+                std::to_string(cut.capacity));
+  }
+  return report;
+}
+
+InvariantReport check_flow_invariants(const graph::FlowNetwork& net,
+                                      graph::Vertex source,
+                                      graph::Vertex sink) {
+  InvariantReport report = check_arc_bounds(net);
+  report.merge(check_conservation(net, source, sink));
+  report.merge(check_csr_adjacency(net));
+  return report;
+}
+
+InvariantReport check_preflow_invariants(const graph::FlowNetwork& net,
+                                         graph::Vertex source,
+                                         graph::Vertex sink) {
+  InvariantReport report = check_arc_bounds(net);
+  report.merge(check_preflow_excess(net, source, sink));
+  report.merge(check_csr_adjacency(net));
+  return report;
+}
+
+}  // namespace repflow::analysis

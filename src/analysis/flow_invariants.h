@@ -1,0 +1,112 @@
+// Flow-level invariant checkers (the graph half of the analysis layer).
+//
+// The paper's integrated algorithms derive their speed from conserving flow
+// state across capacity changes (Algorithms 1-6); a silently violated
+// invariant — non-conserved flow, a stale CSR arc, an overshot capacity —
+// produces schedules that look plausible while breaking the optimality
+// guarantee T = max_j(D_j + X_j + k_j*C_j).  These checkers make every such
+// assumption executable:
+//
+//   * arc bounds       0 <= flow(a) <= cap(a) and antisymmetry of arc pairs
+//   * conservation     net out-flow zero at every interior vertex (flows)
+//   * preflow          net in-flow >= out-flow at interior vertices (interim
+//                      states of Algorithms 1/2/4/5 park excess legally)
+//   * CSR integrity    contiguous monotone offsets, per-vertex spans that
+//                      match out_degree, every arc listed exactly once at
+//                      its tail, no dangling endpoints after reset/rebuild
+//   * labeling         h(s)=n, h(t)=0, h(v) <= h(w)+1 on residual arcs
+//   * optimality       flow value == residual min-cut capacity (max-flow)
+//
+// All checkers are read-only and allocation-light; they are meant for
+// REPFLOW_CHECK_INVARIANTS builds, tests, fuzz harnesses, and the --check
+// mode of the tools, not for release hot paths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/flow_network.h"
+
+namespace repflow::analysis {
+
+/// Accumulated violations of one check (empty == everything held).
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// One violation per line, or "ok" when the report is clean.
+  std::string to_string() const;
+  /// Append `other`'s violations (used to compose compound checks).
+  void merge(InvariantReport other);
+  /// Record one violation (printf-style composition left to callers).
+  void fail(std::string why) { violations.push_back(std::move(why)); }
+};
+
+/// Thrown by enforce() when a report carries violations.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+/// Throw InvariantViolation("<context>: <violations>") unless `report.ok()`.
+/// Also bumps the global check/violation counters either way.
+void enforce(const InvariantReport& report, const char* context);
+
+/// Process-wide telemetry: how many enforce() gates ran and how many failed.
+/// Tests use these to prove the seams are actually exercised in
+/// REPFLOW_CHECK_INVARIANTS builds.
+std::uint64_t invariant_checks_run();
+std::uint64_t invariant_violations_seen();
+
+// ---- Individual checkers -------------------------------------------------
+
+/// 0 <= flow <= cap on every forward arc; flow(a^1) == -flow(a) pairing.
+InvariantReport check_arc_bounds(const graph::FlowNetwork& net);
+
+/// Conservation at every vertex except source and sink.
+InvariantReport check_conservation(const graph::FlowNetwork& net,
+                                   graph::Vertex source, graph::Vertex sink);
+
+/// Preflow relaxation: interior vertices may hold non-negative excess
+/// (inflow >= outflow) but never owe flow.
+InvariantReport check_preflow_excess(const graph::FlowNetwork& net,
+                                     graph::Vertex source,
+                                     graph::Vertex sink);
+
+/// CSR adjacency integrity via the public span API: span sizes equal
+/// out_degree, spans are contiguous (offsets monotone), arc ids in range
+/// and strictly increasing per vertex (counting-sort order), every arc slot
+/// listed exactly once, tails match, and no arc references a vertex outside
+/// [0, num_vertices).
+InvariantReport check_csr_adjacency(const graph::FlowNetwork& net);
+
+/// Push-relabel height validity: height[source] == n, height[sink] == 0,
+/// and height[v] <= height[w] + 1 for every residual arc v->w.
+InvariantReport check_valid_labeling(const graph::FlowNetwork& net,
+                                     graph::Vertex source, graph::Vertex sink,
+                                     std::span<const std::int32_t> height);
+
+/// Max-flow certificate at termination: the current flow's value equals the
+/// capacity of the canonical residual min cut (which also proves no
+/// augmenting path remains).  Only meaningful for a valid flow.
+InvariantReport check_maxflow_optimality(const graph::FlowNetwork& net,
+                                         graph::Vertex source,
+                                         graph::Vertex sink);
+
+// ---- Compound checks (the seam macros call these) ------------------------
+
+/// Arc bounds + conservation + CSR integrity.
+InvariantReport check_flow_invariants(const graph::FlowNetwork& net,
+                                      graph::Vertex source,
+                                      graph::Vertex sink);
+
+/// Arc bounds + preflow excess + CSR integrity.
+InvariantReport check_preflow_invariants(const graph::FlowNetwork& net,
+                                         graph::Vertex source,
+                                         graph::Vertex sink);
+
+}  // namespace repflow::analysis

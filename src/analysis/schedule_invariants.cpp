@@ -1,0 +1,124 @@
+#include "analysis/schedule_invariants.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace repflow::analysis {
+
+InvariantReport check_schedule_feasibility(
+    const core::RetrievalProblem& problem, const core::Schedule& schedule) {
+  InvariantReport report;
+  const auto q = static_cast<std::size_t>(problem.query_size());
+  const auto disks = static_cast<std::size_t>(problem.total_disks());
+  if (schedule.assigned_disk.size() != q) {
+    report.fail("assignment covers " +
+                std::to_string(schedule.assigned_disk.size()) +
+                " buckets, query has " + std::to_string(q));
+    return report;
+  }
+  if (schedule.per_disk_count.size() != disks) {
+    report.fail("per-disk counts cover " +
+                std::to_string(schedule.per_disk_count.size()) +
+                " disks, system has " + std::to_string(disks));
+    return report;
+  }
+  std::vector<std::int64_t> counts(disks, 0);
+  for (std::size_t b = 0; b < q; ++b) {
+    const core::DiskId d = schedule.assigned_disk[b];
+    if (d < 0 || static_cast<std::size_t>(d) >= disks) {
+      report.fail("bucket " + std::to_string(b) +
+                  " assigned out-of-range disk " + std::to_string(d));
+      continue;
+    }
+    const auto& options = problem.replicas[b];
+    if (std::find(options.begin(), options.end(), d) == options.end()) {
+      report.fail("bucket " + std::to_string(b) +
+                  " assigned to non-replica disk " + std::to_string(d));
+    }
+    ++counts[static_cast<std::size_t>(d)];
+  }
+  for (std::size_t d = 0; d < disks; ++d) {
+    if (counts[d] != schedule.per_disk_count[d]) {
+      report.fail("per-disk count of disk " + std::to_string(d) + " is " +
+                  std::to_string(schedule.per_disk_count[d]) +
+                  ", assignment implies " + std::to_string(counts[d]));
+    }
+  }
+  return report;
+}
+
+InvariantReport check_response_time(const core::RetrievalProblem& problem,
+                                    const core::Schedule& schedule,
+                                    double reported_ms) {
+  InvariantReport report;
+  double recomputed = 0.0;
+  for (std::size_t d = 0; d < schedule.per_disk_count.size(); ++d) {
+    const std::int64_t k = schedule.per_disk_count[d];
+    if (k > 0) {
+      recomputed = std::max(
+          recomputed,
+          problem.completion_time(static_cast<core::DiskId>(d), k));
+    }
+  }
+  if (recomputed != reported_ms) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "response time mismatch: reported " << reported_ms
+       << " ms, max_j(D_j + X_j + k_j*C_j) recomputes to " << recomputed
+       << " ms";
+    report.fail(os.str());
+  }
+  return report;
+}
+
+InvariantReport check_network_schedule_consistency(
+    const core::RetrievalNetwork& network, const core::Schedule& schedule) {
+  InvariantReport report;
+  if (!network.built()) {
+    report.fail("retrieval network was never built");
+    return report;
+  }
+  const core::RetrievalProblem& problem = network.problem();
+  const std::int64_t q = problem.query_size();
+  const graph::Cap value = network.flow_value();
+  if (value != q) {
+    report.fail("flow value " + std::to_string(value) +
+                " != query size " + std::to_string(q));
+  }
+  const auto disks = static_cast<std::size_t>(problem.total_disks());
+  if (schedule.per_disk_count.size() != disks) {
+    report.fail("schedule covers " +
+                std::to_string(schedule.per_disk_count.size()) +
+                " disks, network has " + std::to_string(disks));
+    return report;
+  }
+  for (std::size_t d = 0; d < disks; ++d) {
+    const auto disk = static_cast<core::DiskId>(d);
+    const graph::Cap sink_flow = network.disk_flow(disk);
+    if (sink_flow != schedule.per_disk_count[d]) {
+      report.fail("disk " + std::to_string(d) + " sink-arc flow " +
+                  std::to_string(sink_flow) + " != scheduled count " +
+                  std::to_string(schedule.per_disk_count[d]));
+    }
+    const graph::ArcId sink_arc = network.sink_arc(disk);
+    if (sink_flow > network.net().capacity(sink_arc)) {
+      report.fail("disk " + std::to_string(d) + " sink-arc flow " +
+                  std::to_string(sink_flow) + " exceeds capacity " +
+                  std::to_string(network.net().capacity(sink_arc)));
+    }
+  }
+  return report;
+}
+
+InvariantReport check_solve_result(const core::RetrievalProblem& problem,
+                                   const core::SolveResult& result) {
+  InvariantReport report = check_schedule_feasibility(problem, result.schedule);
+  // A malformed schedule makes the recomputation meaningless; report the
+  // root cause alone.
+  if (!report.ok()) return report;
+  report.merge(
+      check_response_time(problem, result.schedule, result.response_time_ms));
+  return report;
+}
+
+}  // namespace repflow::analysis

@@ -1,0 +1,69 @@
+// Schedule-level invariant checkers (the retrieval half of the analysis
+// layer): feasibility of the extracted bucket-to-disk assignment, agreement
+// between the flow on the retrieval network and the emitted schedule, and
+// recomputation of the response time against the paper's formula
+//
+//     T = max_j (D_j + X_j + k_j * C_j)
+//
+// (Section II-E), where k_j is the number of buckets disk j serves.  Any
+// divergence between a SolveResult and these recomputed facts means a solver
+// shell, a pooled rebind, or a snapshot/restore step corrupted state.
+#pragma once
+
+#include "analysis/flow_invariants.h"
+#include "core/network.h"
+#include "core/problem.h"
+#include "core/schedule.h"
+#include "core/solver.h"
+
+namespace repflow::analysis {
+
+/// Assignment feasibility: every bucket assigned to one of its replica
+/// disks, per-disk counts consistent with the assignment, counts sum to |Q|.
+InvariantReport check_schedule_feasibility(const core::RetrievalProblem& problem,
+                                           const core::Schedule& schedule);
+
+/// Recompute T = max_j(D_j + X_j + k_j*C_j) from the schedule and compare
+/// to `reported_ms` (exact double comparison: both sides are computed by
+/// the same formula over the same per-disk counts, so any difference means
+/// state corruption, not rounding).
+InvariantReport check_response_time(const core::RetrievalProblem& problem,
+                                    const core::Schedule& schedule,
+                                    double reported_ms);
+
+/// Flow/schedule agreement on a solved retrieval network: flow value equals
+/// |Q|, every sink arc's flow equals the schedule's per-disk count, and
+/// every sink arc respects its capacity.
+InvariantReport check_network_schedule_consistency(
+    const core::RetrievalNetwork& network, const core::Schedule& schedule);
+
+/// Compound post-solve check used by the solver-shell seams and the tools'
+/// --check mode: feasibility + response-time recomputation.
+InvariantReport check_solve_result(const core::RetrievalProblem& problem,
+                                   const core::SolveResult& result);
+
+}  // namespace repflow::analysis
+
+// Seam macro: compiled in only under REPFLOW_CHECK_INVARIANTS (see
+// analysis/check.h for the gating contract).
+#include "analysis/check.h"
+
+#if REPFLOW_INVARIANTS_ENABLED
+/// Post-solve seam for the catalog solver shells: flow validity on the
+/// retrieval network, flow/schedule agreement, schedule feasibility, and
+/// response-time recomputation.
+#define REPFLOW_CHECK_SOLVE(problem, network, result, context)             \
+  do {                                                                     \
+    ::repflow::analysis::InvariantReport repflow_check_solve_report =      \
+        ::repflow::analysis::check_flow_invariants(                        \
+            (network).net(), (network).source(), (network).sink());        \
+    repflow_check_solve_report.merge(                                      \
+        ::repflow::analysis::check_network_schedule_consistency(           \
+            (network), (result).schedule));                                \
+    repflow_check_solve_report.merge(                                      \
+        ::repflow::analysis::check_solve_result((problem), (result)));     \
+    ::repflow::analysis::enforce(repflow_check_solve_report, (context));   \
+  } while (0)
+#else
+#define REPFLOW_CHECK_SOLVE(problem, network, result, context) ((void)0)
+#endif

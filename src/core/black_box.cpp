@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "analysis/schedule_invariants.h"
+
 #include "obs/span.h"
 
 namespace repflow::core {
@@ -92,15 +94,20 @@ void BlackBoxBinarySolver::solve_into(const RetrievalProblem& problem,
   network_.set_capacities_for_time(tmin);
   incrementer_.rebind(network_);
   graph::Cap reached = 0;
-  do {
-    obs::ScopedSpan step("blackbox.capacity_step");
-    incrementer_.increment_min_cost();
-    reached = run_probe(result);
-  } while (reached != q);
+  // An empty query is feasible at every capacity vector, so the mandatory
+  // first increment below would ask for a live disk that cannot exist.
+  if (q > 0) {
+    do {
+      obs::ScopedSpan step("blackbox.capacity_step");
+      incrementer_.increment_min_cost();
+      reached = run_probe(result);
+    } while (reached != q);
+  }
 
   result.capacity_steps = incrementer_.steps();
   extract_schedule_into(network_, result.schedule);
   result.response_time_ms = result.schedule.response_time(problem.system);
+  REPFLOW_CHECK_SOLVE(problem, network_, result, "blackbox_binary.post_solve");
 }
 
 std::size_t BlackBoxBinarySolver::retained_bytes() const {

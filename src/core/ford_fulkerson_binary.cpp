@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "analysis/schedule_invariants.h"
+
 namespace repflow::core {
 
 FordFulkersonBinarySolver::FordFulkersonBinarySolver(
@@ -66,6 +68,7 @@ void FordFulkersonBinarySolver::solve_into(const RetrievalProblem& problem,
   result.flow_stats = engine_->stats() - stats_before;
   extract_schedule_into(network_, result.schedule);
   result.response_time_ms = result.schedule.response_time(problem.system);
+  REPFLOW_CHECK_SOLVE(problem, network_, result, "ff_binary.post_solve");
 }
 
 std::size_t FordFulkersonBinarySolver::retained_bytes() const {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "analysis/schedule_invariants.h"
+
 #include "obs/span.h"
 
 namespace repflow::core {
@@ -57,6 +59,7 @@ void FordFulkersonIncrementalSolver::solve_into(
   result.flow_stats = engine_->stats() - stats_before;
   extract_schedule_into(network_, result.schedule);
   result.response_time_ms = result.schedule.response_time(problem.system);
+  REPFLOW_CHECK_SOLVE(problem, network_, result, "alg2_ff_incremental.post_solve");
 }
 
 std::size_t FordFulkersonIncrementalSolver::retained_bytes() const {

@@ -30,6 +30,11 @@ void RetrievalNetwork::rebuild(const RetrievalProblem& problem) {
   for (DiskId d = 0; d < disks; ++d) {
     sink_arcs_.push_back(net_.add_arc(disk_vertex(d), sink_, 0));
   }
+  // Topology is final for this problem: materialize the CSR here so readers
+  // (including concurrent ones in the parallel engine and the stream
+  // scheduler's worker threads) never trigger the lazy rebuild through a
+  // const reference.
+  net_.finalize_adjacency();
 }
 
 std::int64_t RetrievalNetwork::capacity_for_time(DiskId disk, double t) const {

@@ -1,6 +1,8 @@
 #include "core/push_relabel_binary.h"
 
 #include <stdexcept>
+
+#include "analysis/schedule_invariants.h"
 #include <utility>
 #include <vector>
 
@@ -95,6 +97,7 @@ void PushRelabelBinarySolver::solve_into(const RetrievalProblem& problem,
   result.flow_stats = engine_->stats() - stats_before;
   extract_schedule_into(network_, result.schedule);
   result.response_time_ms = result.schedule.response_time(problem.system);
+  REPFLOW_CHECK_SOLVE(problem, network_, result, "alg6_pr_binary.post_solve");
 }
 
 std::size_t PushRelabelBinarySolver::retained_bytes() const {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "analysis/schedule_invariants.h"
+
 #include "obs/span.h"
 
 namespace repflow::core {
@@ -50,6 +52,7 @@ void PushRelabelIncrementalSolver::solve_into(const RetrievalProblem& problem,
   result.flow_stats = engine_->stats() - stats_before;
   extract_schedule_into(network_, result.schedule);
   result.response_time_ms = result.schedule.response_time(problem.system);
+  REPFLOW_CHECK_SOLVE(problem, network_, result, "alg5_pr_incremental.post_solve");
 }
 
 std::size_t PushRelabelIncrementalSolver::retained_bytes() const {

@@ -16,6 +16,13 @@ SolveResult ReferenceSolver::solve() {
   const std::int64_t q = problem_.query_size();
   const auto& sys = problem_.system;
 
+  // An empty query is trivially retrieved in zero time; the candidate set
+  // below would be empty (every catalog solver returns the same answer).
+  if (q == 0) {
+    result.response_time_ms = 0.0;
+    return result;
+  }
+
   // Candidate response times: every possible per-disk completion.
   std::vector<double> candidates;
   for (DiskId d = 0; d < problem_.total_disks(); ++d) {

@@ -73,6 +73,7 @@ DimacsInstance read_dimacs(std::istream& in) {
   if (seen_arcs != declared_arcs) {
     throw std::runtime_error("dimacs: arc count mismatch");
   }
+  inst.net.finalize_adjacency();
   return inst;
 }
 

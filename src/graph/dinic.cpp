@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "analysis/check.h"
+
 namespace repflow::graph {
 
 Dinic::Dinic(FlowNetwork& net, Vertex source, Vertex sink,
@@ -80,6 +82,10 @@ Cap Dinic::run() {
       ++stats_.augmentations;
     }
   }
+  // Path augmentation keeps conservation at every step, so the terminal
+  // state is a flow; run() additionally terminates only when no level graph
+  // reaches the sink, which the maxflow check certifies at the solve seam.
+  REPFLOW_CHECK_FLOW(net_, source_, sink_, "dinic.post_run");
   return total;
 }
 
@@ -89,6 +95,7 @@ MaxflowResult Dinic::solve_from_zero() {
   MaxflowResult result;
   result.value = run();
   result.stats = stats_ - before;  // per-run view; stats_ stays cumulative
+  REPFLOW_CHECK_MAXFLOW(net_, source_, sink_, "dinic.solve_from_zero");
   return result;
 }
 

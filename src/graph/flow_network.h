@@ -93,6 +93,24 @@ class FlowNetwork {
   }
   std::int32_t out_degree(Vertex v) const { return out_degree_[v]; }
 
+  /// Eagerly rebuild the CSR adjacency after topology edits.
+  ///
+  /// out_arcs() rebuilds lazily, which mutates the (mutable) cache inside a
+  /// const member — fine single-threaded, but a data race the moment a
+  /// "read-only" network is shared across threads while still dirty (the
+  /// parallel engine's copy_in and any concurrent bench reader would race
+  /// on the first touch).  Builders (RetrievalNetwork::rebuild, generators)
+  /// call this once at the end of an edit batch so the network they hand
+  /// out is genuinely immutable-for-readers.
+  void finalize_adjacency() {
+    if (csr_dirty_) rebuild_csr();
+  }
+
+  /// True while a topology edit has left the CSR cache stale (the next
+  /// out_arcs() call would rebuild).  Exposed so tests and the analysis
+  /// layer can assert rebuild seams hand out finalized networks.
+  bool adjacency_dirty() const { return csr_dirty_; }
+
   /// Flow snapshots: forward-arc flows only (reverse flows are derived).
   std::vector<Cap> save_flows() const;
   /// Allocation-free variant: overwrite `snapshot` (resized in place).

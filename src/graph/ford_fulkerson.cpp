@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/check.h"
+
 namespace repflow::graph {
 
 std::string FlowStats::to_string() const {
@@ -53,7 +55,14 @@ Cap FordFulkerson::augment_once(Vertex from) {
   // The network may have grown since construction (not used by the retrieval
   // algorithms, but keeps the engine honest as a general component).
   ensure_sizes();
-  return order_ == SearchOrder::kDfs ? dfs_augment(from) : bfs_augment(from);
+  const Cap pushed =
+      order_ == SearchOrder::kDfs ? dfs_augment(from) : bfs_augment(from);
+  // Preflow (not flow) invariants: Algorithms 1/2 park one unit of excess
+  // at every bucket vertex and drain them with per-bucket augmentations.
+  if (pushed > 0) {
+    REPFLOW_CHECK_PREFLOW(net_, source_, sink_, "ff.post_augment");
+  }
+  return pushed;
 }
 
 Cap FordFulkerson::dfs_augment(Vertex from) {
@@ -156,6 +165,8 @@ MaxflowResult FordFulkerson::solve_from_zero() {
   MaxflowResult result;
   result.value = run();
   result.stats = stats_ - before;  // per-run view; stats_ stays cumulative
+  REPFLOW_CHECK_FLOW(net_, source_, sink_, "ff.solve_from_zero");
+  REPFLOW_CHECK_MAXFLOW(net_, source_, sink_, "ff.solve_from_zero");
   return result;
 }
 

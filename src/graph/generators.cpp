@@ -26,6 +26,7 @@ GeneratedNetwork random_bipartite(std::int32_t left, std::int32_t right,
   for (std::int32_t d = 0; d < right; ++d) {
     g.net.add_arc(left + d, g.sink, sink_cap);
   }
+  g.net.finalize_adjacency();
   return g;
 }
 
@@ -50,6 +51,7 @@ GeneratedNetwork random_general(std::int32_t n, std::int32_t m, Cap max_cap,
     g.net.add_arc(u, v, 1 + static_cast<Cap>(rng.below(
                                 static_cast<std::uint64_t>(max_cap))));
   }
+  g.net.finalize_adjacency();
   return g;
 }
 
@@ -89,6 +91,7 @@ GeneratedNetwork layered_network(std::int32_t layers, std::int32_t width,
       }
     }
   }
+  g.net.finalize_adjacency();
   return g;
 }
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "analysis/check.h"
+
 namespace repflow::graph {
 
 PushRelabel::PushRelabel(FlowNetwork& net, Vertex source, Vertex sink,
@@ -131,6 +133,11 @@ void PushRelabel::global_relabel() {
   for (std::size_t v = 0; v < n; ++v) ++ws_->height_count[height[v]];
   std::fill(ws_->arc_cursor.begin(), ws_->arc_cursor.end(), 0u);
   relabels_since_global_ = 0;
+  // Post-relabel-batch seam: exact heights must form a valid labeling
+  // (heights only ever rise within a run, so a lowered label here would
+  // mean the BFS saw stale flows).
+  REPFLOW_CHECK_LABELING(net_, source_, sink_, ws_->height,
+                         "push_relabel.post_global_relabel");
 }
 
 void PushRelabel::relabel(Vertex v) {
@@ -232,6 +239,10 @@ Cap PushRelabel::run() {
     // and can only become pushable again after receiving flow, which
     // re-enqueues it via enqueue_if_active.
   }
+  // Post-run seam: with the queue drained every interior vertex returned
+  // its excess (to the sink or back past n to the source), so the preflow
+  // is a flow again — the property Algorithms 5/6 conserve across probes.
+  REPFLOW_CHECK_FLOW(net_, source_, sink_, "push_relabel.post_run");
   return ws_->excess[sink_];
 }
 
@@ -252,6 +263,7 @@ MaxflowResult PushRelabel::solve_from_zero() {
   MaxflowResult result;
   result.value = resume();
   result.stats = stats_ - before;  // per-run view; stats_ stays cumulative
+  REPFLOW_CHECK_MAXFLOW(net_, source_, sink_, "push_relabel.solve_from_zero");
   return result;
 }
 

@@ -4,6 +4,29 @@
 // queue so that, per the paper's Section V requirement (following Hong & He
 // [31]), no locks are taken anywhere on the push/relabel hot path — all
 // coordination is atomic read-modify-write.
+//
+// Memory-order audit (the full protocol; verified under ThreadSanitizer by
+// tests/analysis/stress_concurrent_solve.cpp):
+//
+//   * Each cell's `sequence` is the only synchronization edge for its
+//     `value`.  A writer publishes with sequence.store(release) AFTER
+//     writing value; a reader first observes that store with
+//     sequence.load(acquire) and only then reads value.  The release/
+//     acquire pair makes the plain (non-atomic) value access data-race-free
+//     in both directions (producer->consumer on push, consumer->recycler on
+//     the wrap-around reuse of the cell).
+//
+//   * head_/tail_ are mere tickets: the CAS that claims position `pos` can
+//     be relaxed because claiming grants no access by itself — the claimant
+//     still waits on the cell's sequence before touching value, so every
+//     inter-thread data edge goes through the sequence pair above.  Relaxed
+//     RMWs still totally order claims per counter (RMW atomicity), which is
+//     all FIFO ordering needs.
+//
+//   * The initial sequence stores in the constructor are relaxed: the
+//     constructor is single-threaded and the object is published to workers
+//     via the engine's mutex/condition-variable handoff, which provides the
+//     necessary happens-before.
 #pragma once
 
 #include <atomic>
@@ -38,10 +61,15 @@ class MpmcQueue {
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       cell = &cells_[pos & mask_];
+      // Acquire: synchronizes with the consumer's release store that
+      // recycled this cell, so the consumer's value read happened-before
+      // our value write below (no overwrite of an in-flight read).
       const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
       const auto diff = static_cast<std::ptrdiff_t>(seq) -
                         static_cast<std::ptrdiff_t>(pos);
       if (diff == 0) {
+        // Relaxed CAS: claiming the ticket grants nothing by itself — the
+        // cell's sequence above already carries the data edge.
         if (tail_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           break;
@@ -53,6 +81,8 @@ class MpmcQueue {
       }
     }
     cell->value = value;
+    // Release: publishes the value write to the consumer whose acquire
+    // load of `sequence` observes pos + 1.
     cell->sequence.store(pos + 1, std::memory_order_release);
     return true;
   }
@@ -63,10 +93,13 @@ class MpmcQueue {
     std::size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
       cell = &cells_[pos & mask_];
+      // Acquire: synchronizes with the producer's release store, making its
+      // value write visible before our value read below.
       const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
       const auto diff = static_cast<std::ptrdiff_t>(seq) -
                         static_cast<std::ptrdiff_t>(pos + 1);
       if (diff == 0) {
+        // Relaxed CAS: same ticket argument as try_push.
         if (head_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           break;
@@ -78,6 +111,8 @@ class MpmcQueue {
       }
     }
     out = cell->value;
+    // Release: recycles the cell for the producer one lap ahead; its
+    // acquire load sees our value read completed.
     cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
     return true;
   }

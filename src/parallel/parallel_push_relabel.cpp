@@ -6,6 +6,33 @@
 #include <string>
 #include <thread>
 
+#include "analysis/check.h"
+
+// Memory-order audit of the lock-free engine (verified under
+// ThreadSanitizer by tests/analysis/stress_concurrent_solve.cpp):
+//
+//   * flow_/excess_/height_ on the discharge hot path use acquire loads and
+//     acq_rel RMWs: each fetch_add/fetch_sub both publishes the writer's
+//     preceding state (release half) and observes every earlier RMW on the
+//     same cell (acquire half), so the residual/excess a worker computes is
+//     never newer than the arc state it acts on.  Monotonicity arguments
+//     (only the owner decreases its own excess, heights only rise between
+//     global relabels) make the remaining staleness benign: a stale read
+//     can only under-estimate the push budget, never overshoot it.
+//
+//   * gr_state_/gr_paused_/gr_exited_ form the global-relabel park
+//     protocol.  The coordinator's CAS(0->1) is acq_rel; workers observe 1
+//     with acquire at a safe checkpoint and spin; the coordinator's
+//     store(0, release) after exact_heights() publishes the new heights to
+//     the acquire spin-loads, so no worker resumes with pre-relabel
+//     heights.
+//
+//   * relaxed is confined to (a) single-threaded phases — copy_in/copy_out,
+//     exact_heights, and the resume() prologue/epilogue run while every
+//     worker is parked or joined, with the pool mutex + condition variable
+//     handoff providing the happens-before into and out of the run — and
+//     (b) pure statistics (relabels_since_gr_), where a lost update only
+//     nudges the relabel cadence.
 namespace repflow::parallel {
 
 using graph::ArcId;
@@ -493,7 +520,22 @@ Cap ParallelPushRelabel::resume() {
   std::fill(counters_.begin(), counters_.end(), ThreadCounters{});
 
   copy_out();
-  return excess_[sink_].load(std::memory_order_relaxed);
+  const Cap value = excess_[sink_].load(std::memory_order_relaxed);
+  // Post-solve seam (single-threaded epilogue; all workers joined above, so
+  // the relaxed loads in copy_out observed final values via the mutex/cv
+  // handoff): flows copied back to the shared network must be a conserved
+  // flow whose sink inflow matches the engine's own excess accounting.
+  REPFLOW_CHECK_FLOW(net_, source_, sink_, "parallel_pr.post_resume");
+#if REPFLOW_INVARIANTS_ENABLED
+  if (net_.flow_into(sink_) != value) {
+    analysis::InvariantReport report;
+    report.fail("engine sink excess " + std::to_string(value) +
+                " != network sink inflow " +
+                std::to_string(net_.flow_into(sink_)));
+    analysis::enforce(report, "parallel_pr.post_resume");
+  }
+#endif
+  return value;
 }
 
 void ParallelPushRelabel::reset_excess_after_restore(Cap /*sink_excess*/) {
