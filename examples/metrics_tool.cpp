@@ -42,18 +42,14 @@ namespace {
 using namespace repflow;
 
 core::SolverKind parse_solver(const std::string& name) {
-  for (core::SolverKind kind :
-       {core::SolverKind::kFordFulkersonBasic,
-        core::SolverKind::kFordFulkersonIncremental,
-        core::SolverKind::kPushRelabelIncremental,
-        core::SolverKind::kPushRelabelBinary,
-        core::SolverKind::kBlackBoxBinary,
-        core::SolverKind::kParallelPushRelabelBinary}) {
-    if (name == core::solver_id(kind)) return kind;
+  if (const auto kind = core::solver_kind_from_id(name)) return *kind;
+  std::string known;
+  for (core::SolverKind kind : core::kAllSolverKinds) {
+    if (!known.empty()) known += '|';
+    known += core::solver_id(kind);
   }
-  throw std::invalid_argument(
-      "unknown solver '" + name +
-      "' (use alg1|alg2|alg5|alg6|blackbox|parallel)");
+  throw std::invalid_argument("unknown solver '" + name + "' (use " + known +
+                              ")");
 }
 
 std::vector<core::SolverKind> parse_solver_list(const std::string& csv) {

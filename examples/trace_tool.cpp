@@ -27,13 +27,13 @@ namespace {
 using namespace repflow;
 
 core::SolverKind parse_solver(const std::string& name) {
-  if (name == "alg2") return core::SolverKind::kFordFulkersonIncremental;
-  if (name == "alg5") return core::SolverKind::kPushRelabelIncremental;
-  if (name == "alg6") return core::SolverKind::kPushRelabelBinary;
-  if (name == "blackbox") return core::SolverKind::kBlackBoxBinary;
-  if (name == "parallel") return core::SolverKind::kParallelPushRelabelBinary;
-  throw std::invalid_argument(
-      "unknown --solver (use alg2|alg5|alg6|blackbox|parallel)");
+  if (const auto kind = core::solver_kind_from_id(name)) return *kind;
+  std::string known;
+  for (core::SolverKind kind : core::kAllSolverKinds) {
+    if (!known.empty()) known += '|';
+    known += core::solver_id(kind);
+  }
+  throw std::invalid_argument("unknown --solver (use " + known + ")");
 }
 
 int generate(const CliFlags& flags) {

@@ -6,7 +6,8 @@
 //
 //   * Algorithm 2 (integrated Ford-Fulkerson incrementation),
 //   * Algorithm 6 (push-relabel with binary capacity scaling),
-//   * the black-box binary-search baseline, and
+//   * the black-box binary-search baseline,
+//   * the Hopcroft-Karp b-matching kernel (kIntegratedMatching), and
 //   * the ReferenceSolver oracle (candidate enumeration + Edmonds-Karp).
 //
 // Any disagreement in optimal response time, any invariant violation
@@ -106,15 +107,18 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       repflow::core::solve(problem, SolverKind::kPushRelabelBinary);
   const SolveResult blackbox =
       repflow::core::solve(problem, SolverKind::kBlackBoxBinary);
+  const SolveResult matching =
+      repflow::core::solve(problem, SolverKind::kIntegratedMatching);
   const SolveResult oracle = repflow::core::ReferenceSolver(problem).solve();
 
   check_result(problem, alg2, "alg2_ff_incremental");
   check_result(problem, alg6, "alg6_pr_binary");
   check_result(problem, blackbox, "blackbox_binary");
+  check_result(problem, matching, "matching_hk");
 
   const double expected = oracle.response_time_ms;
   const double tolerance = 1e-9 * (1.0 + std::fabs(expected));
-  for (const SolveResult* r : {&alg2, &alg6, &blackbox}) {
+  for (const SolveResult* r : {&alg2, &alg6, &blackbox, &matching}) {
     if (std::fabs(r->response_time_ms - expected) > tolerance) {
       die(problem, "optimal response times disagree",
           "oracle=" + std::to_string(expected) +

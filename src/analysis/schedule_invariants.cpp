@@ -121,4 +121,43 @@ InvariantReport check_solve_result(const core::RetrievalProblem& problem,
   return report;
 }
 
+InvariantReport check_matching_schedule_consistency(
+    const core::RetrievalProblem& problem,
+    std::span<const std::int64_t> sink_caps, const core::Schedule& schedule) {
+  InvariantReport report;
+  const auto disks = static_cast<std::size_t>(problem.total_disks());
+  if (sink_caps.size() != disks) {
+    report.fail("capacity array covers " + std::to_string(sink_caps.size()) +
+                " disks, system has " + std::to_string(disks));
+    return report;
+  }
+  if (schedule.per_disk_count.size() != disks) {
+    report.fail("schedule covers " +
+                std::to_string(schedule.per_disk_count.size()) +
+                " disks, system has " + std::to_string(disks));
+    return report;
+  }
+  const std::vector<std::int32_t> in_degree = problem.disk_in_degrees();
+  std::int64_t total = 0;
+  for (std::size_t d = 0; d < disks; ++d) {
+    const std::int64_t k = schedule.per_disk_count[d];
+    total += k;
+    if (k > sink_caps[d]) {
+      report.fail("disk " + std::to_string(d) + " serves " +
+                  std::to_string(k) + " buckets, capacity is " +
+                  std::to_string(sink_caps[d]));
+    }
+    if (k > in_degree[d]) {
+      report.fail("disk " + std::to_string(d) + " serves " +
+                  std::to_string(k) + " buckets, replica in-degree is " +
+                  std::to_string(in_degree[d]));
+    }
+  }
+  if (total != problem.query_size()) {
+    report.fail("matching value " + std::to_string(total) +
+                " != query size " + std::to_string(problem.query_size()));
+  }
+  return report;
+}
+
 }  // namespace repflow::analysis

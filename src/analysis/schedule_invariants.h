@@ -10,6 +10,8 @@
 // shell, a pooled rebind, or a snapshot/restore step corrupted state.
 #pragma once
 
+#include <span>
+
 #include "analysis/flow_invariants.h"
 #include "core/network.h"
 #include "core/problem.h"
@@ -42,6 +44,15 @@ InvariantReport check_network_schedule_consistency(
 InvariantReport check_solve_result(const core::RetrievalProblem& problem,
                                    const core::SolveResult& result);
 
+/// Matching/schedule agreement for the network-free b-matching kernel: the
+/// schedule is a feasible flow of value |Q| under `sink_caps` — counts sum
+/// to the query size, and every disk's count respects both its capacity and
+/// its replica in-degree.  The flow-network analogue of
+/// check_network_schedule_consistency.
+InvariantReport check_matching_schedule_consistency(
+    const core::RetrievalProblem& problem,
+    std::span<const std::int64_t> sink_caps, const core::Schedule& schedule);
+
 }  // namespace repflow::analysis
 
 // Seam macro: compiled in only under REPFLOW_CHECK_INVARIANTS (see
@@ -64,6 +75,19 @@ InvariantReport check_solve_result(const core::RetrievalProblem& problem,
         ::repflow::analysis::check_solve_result((problem), (result)));     \
     ::repflow::analysis::enforce(repflow_check_solve_report, (context));   \
   } while (0)
+/// Post-solve seam for the bipartite matching solver (no flow network to
+/// audit): matching == feasible flow under the final capacities, schedule
+/// feasibility, and response-time recomputation.
+#define REPFLOW_CHECK_MATCHING(problem, sink_caps, result, context)         \
+  do {                                                                      \
+    ::repflow::analysis::InvariantReport repflow_check_matching_report =    \
+        ::repflow::analysis::check_matching_schedule_consistency(           \
+            (problem), (sink_caps), (result).schedule);                     \
+    repflow_check_matching_report.merge(                                    \
+        ::repflow::analysis::check_solve_result((problem), (result)));      \
+    ::repflow::analysis::enforce(repflow_check_matching_report, (context)); \
+  } while (0)
 #else
 #define REPFLOW_CHECK_SOLVE(problem, network, result, context) ((void)0)
+#define REPFLOW_CHECK_MATCHING(problem, sink_caps, result, context) ((void)0)
 #endif

@@ -19,6 +19,9 @@ CapacityIncrementer::CapacityIncrementer(RetrievalNetwork& network) {
 
 void CapacityIncrementer::rebind(RetrievalNetwork& network) {
   network_ = &network;
+  system_ = &network.problem().system;
+  direct_caps_ = nullptr;
+  in_degree_ = {};
   const std::int32_t disks = network.problem().total_disks();
   caps_.clear();
   caps_.reserve(static_cast<std::size_t>(disks));
@@ -33,22 +36,50 @@ void CapacityIncrementer::rebind(RetrievalNetwork& network) {
   total_increments_ = 0;
 }
 
+void CapacityIncrementer::rebind(const RetrievalProblem& problem,
+                                 std::span<const std::int32_t> in_degree,
+                                 std::vector<std::int64_t>& caps) {
+  network_ = nullptr;
+  system_ = &problem.system;
+  in_degree_ = in_degree;
+  direct_caps_ = &caps;
+  const std::int32_t disks = problem.total_disks();
+  live_.clear();
+  for (DiskId d = 0; d < disks; ++d) {
+    if (in_degree[static_cast<std::size_t>(d)] >
+        caps[static_cast<std::size_t>(d)]) {
+      live_.push_back(d);
+    }
+  }
+  steps_ = 0;
+  total_increments_ = 0;
+}
+
+void CapacityIncrementer::bump(DiskId d) {
+  if (direct_caps_) {
+    ++(*direct_caps_)[static_cast<std::size_t>(d)];
+  } else {
+    ++caps_[static_cast<std::size_t>(d)];
+    network_->net().set_capacity(network_->sink_arc(d),
+                                 caps_[static_cast<std::size_t>(d)]);
+  }
+  ++total_increments_;
+}
+
 double CapacityIncrementer::increment_min_cost() {
-  const auto& sys = network_->problem().system;
+  const auto& sys = *system_;
   // Pass 1 (Algorithm 3 lines 1-9): drop exhausted disks, find the minimum
   // next-completion cost among the survivors.
   double min_cost = std::numeric_limits<double>::max();
   std::size_t alive = 0;
   for (std::size_t i = 0; i < live_.size(); ++i) {
     const DiskId d = live_[i];
-    if (network_->in_degree(d) <= caps_[static_cast<std::size_t>(d)]) {
+    if (degree_of(d) <= cap_of(d)) {
       continue;  // delete from E
     }
     live_[alive++] = d;
-    const double cost =
-        sys.delay_ms[d] + sys.init_load_ms[d] +
-        static_cast<double>(caps_[static_cast<std::size_t>(d)] + 1) *
-            sys.cost_ms[d];
+    const double cost = sys.delay_ms[d] + sys.init_load_ms[d] +
+                        static_cast<double>(cap_of(d) + 1) * sys.cost_ms[d];
     min_cost = std::min(min_cost, cost);
   }
   live_.resize(alive);
@@ -58,15 +89,10 @@ double CapacityIncrementer::increment_min_cost() {
   }
   // Pass 2 (lines 10-12): bump every live disk achieving the minimum.
   for (const DiskId d : live_) {
-    const double cost =
-        sys.delay_ms[d] + sys.init_load_ms[d] +
-        static_cast<double>(caps_[static_cast<std::size_t>(d)] + 1) *
-            sys.cost_ms[d];
+    const double cost = sys.delay_ms[d] + sys.init_load_ms[d] +
+                        static_cast<double>(cap_of(d) + 1) * sys.cost_ms[d];
     if (cost <= min_cost + kCostEpsilon) {
-      ++caps_[static_cast<std::size_t>(d)];
-      network_->net().set_capacity(network_->sink_arc(d),
-                                   caps_[static_cast<std::size_t>(d)]);
-      ++total_increments_;
+      bump(d);
     }
   }
   ++steps_;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/network.h"
@@ -29,6 +30,15 @@ class CapacityIncrementer {
   /// same-footprint network performs no heap allocation.
   void rebind(RetrievalNetwork& network);
 
+  /// Network-free mode for the bipartite matching kernel: operate directly
+  /// on the caller's capacity array (one entry per disk; the same vector
+  /// the matcher reads), with disk in-degrees supplied up front.  `caps`
+  /// and `in_degree` must outlive the next rebind; every capacity bump is
+  /// written straight into `caps`.
+  void rebind(const RetrievalProblem& problem,
+              std::span<const std::int32_t> in_degree,
+              std::vector<std::int64_t>& caps);
+
   /// One IncrementMinCost step.  Returns the minimum next-completion cost
   /// (the candidate response time just admitted).  Throws std::logic_error
   /// if no live edge remains (the caller exceeded total capacity c*|Q|).
@@ -46,8 +56,21 @@ class CapacityIncrementer {
   }
 
  private:
-  RetrievalNetwork* network_ = nullptr;
-  std::vector<DiskId> live_;       // disks whose sink arc is still in E
+  std::int64_t cap_of(DiskId d) const {
+    return direct_caps_ ? (*direct_caps_)[static_cast<std::size_t>(d)]
+                        : caps_[static_cast<std::size_t>(d)];
+  }
+  std::int32_t degree_of(DiskId d) const {
+    return direct_caps_ ? in_degree_[static_cast<std::size_t>(d)]
+                        : network_->in_degree(d);
+  }
+  void bump(DiskId d);
+
+  RetrievalNetwork* network_ = nullptr;       // null in direct mode
+  const workload::SystemConfig* system_ = nullptr;
+  std::span<const std::int32_t> in_degree_;   // direct mode only
+  std::vector<std::int64_t>* direct_caps_ = nullptr;  // direct mode only
+  std::vector<DiskId> live_;        // disks whose sink arc is still in E
   std::vector<std::int64_t> caps_;  // mirror of sink-arc capacities
   std::int64_t steps_ = 0;
   std::int64_t total_increments_ = 0;

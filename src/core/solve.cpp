@@ -8,42 +8,6 @@
 
 namespace repflow::core {
 
-const char* solver_name(SolverKind kind) {
-  switch (kind) {
-    case SolverKind::kFordFulkersonBasic:
-      return "FF-basic (Alg 1)";
-    case SolverKind::kFordFulkersonIncremental:
-      return "FF-incremental (Alg 2)";
-    case SolverKind::kPushRelabelIncremental:
-      return "PR-incremental (Alg 5)";
-    case SolverKind::kPushRelabelBinary:
-      return "PR-binary integrated (Alg 6)";
-    case SolverKind::kBlackBoxBinary:
-      return "PR-binary black box [12]";
-    case SolverKind::kParallelPushRelabelBinary:
-      return "PR-binary parallel (Sec V)";
-  }
-  return "?";
-}
-
-const char* solver_id(SolverKind kind) {
-  switch (kind) {
-    case SolverKind::kFordFulkersonBasic:
-      return "alg1";
-    case SolverKind::kFordFulkersonIncremental:
-      return "alg2";
-    case SolverKind::kPushRelabelIncremental:
-      return "alg5";
-    case SolverKind::kPushRelabelBinary:
-      return "alg6";
-    case SolverKind::kBlackBoxBinary:
-      return "blackbox";
-    case SolverKind::kParallelPushRelabelBinary:
-      return "parallel";
-  }
-  return "?";
-}
-
 namespace {
 
 // Per-kind observability handles, resolved once per process.  The solve
@@ -59,49 +23,45 @@ struct SolverMetrics {
   const char* span_name;
 };
 
-// Exhaustive switch (not an index into a hand-ordered table) so that
-// reordering SolverKind cannot silently misattribute metrics: the compiler
-// flags a missing case, and each kind names its id literally.  The macro
-// pastes string literals so the span name keeps static storage duration.
+// The cases are generated from REPFLOW_SOLVER_CATALOG, so a SolverKind
+// cannot exist without its metrics entry; each kind pastes its id as a
+// string literal so the span name keeps static storage duration.
 SolverMetrics& metrics_for(SolverKind kind) {
-#define REPFLOW_SOLVER_METRICS(id)                                          \
-  {obs::Registry::global().histogram("solver." id ".solve_ms"),             \
-   obs::Registry::global().counter("solver." id ".solves"),                 \
-   obs::Registry::global().counter("solver." id ".capacity_steps"),         \
-   obs::Registry::global().counter("solver." id ".binary_probes"),          \
-   obs::Registry::global().counter("solver." id ".maxflow_runs"),           \
-   "solve." id}
   switch (kind) {
-    case SolverKind::kFordFulkersonBasic: {
-      static SolverMetrics metrics = REPFLOW_SOLVER_METRICS("alg1");
-      return metrics;
-    }
-    case SolverKind::kFordFulkersonIncremental: {
-      static SolverMetrics metrics = REPFLOW_SOLVER_METRICS("alg2");
-      return metrics;
-    }
-    case SolverKind::kPushRelabelIncremental: {
-      static SolverMetrics metrics = REPFLOW_SOLVER_METRICS("alg5");
-      return metrics;
-    }
-    case SolverKind::kPushRelabelBinary: {
-      static SolverMetrics metrics = REPFLOW_SOLVER_METRICS("alg6");
-      return metrics;
-    }
-    case SolverKind::kBlackBoxBinary: {
-      static SolverMetrics metrics = REPFLOW_SOLVER_METRICS("blackbox");
-      return metrics;
-    }
-    case SolverKind::kParallelPushRelabelBinary: {
-      static SolverMetrics metrics = REPFLOW_SOLVER_METRICS("parallel");
-      return metrics;
-    }
+#define REPFLOW_SOLVER_METRICS_CASE(k, id, name)                            \
+  case SolverKind::k: {                                                     \
+    static SolverMetrics metrics = {                                       \
+        obs::Registry::global().histogram("solver." id ".solve_ms"),        \
+        obs::Registry::global().counter("solver." id ".solves"),            \
+        obs::Registry::global().counter("solver." id ".capacity_steps"),    \
+        obs::Registry::global().counter("solver." id ".binary_probes"),     \
+        obs::Registry::global().counter("solver." id ".maxflow_runs"),      \
+        "solve." id};                                                       \
+    return metrics;                                                         \
   }
-#undef REPFLOW_SOLVER_METRICS
+    REPFLOW_SOLVER_CATALOG(REPFLOW_SOLVER_METRICS_CASE)
+#undef REPFLOW_SOLVER_METRICS_CASE
+  }
   throw std::invalid_argument("metrics_for: unknown solver kind");
 }
 
 }  // namespace
+
+SolverKind choose_solver(const RetrievalProblem& problem) {
+  const std::int64_t q = problem.query_size();
+  if (q == 0) return SolverKind::kIntegratedMatching;
+  std::int64_t arcs = 0;
+  for (const auto& options : problem.replicas) {
+    arcs += static_cast<std::int64_t>(options.size());
+  }
+  // Replica degree is the copy count c after deduplication: 2..5 on every
+  // paper workload, so the matching kernel is the default; only artificial
+  // nearly-complete instances cross the threshold.
+  const double avg_degree =
+      static_cast<double>(arcs) / static_cast<double>(q);
+  return avg_degree <= 16.0 ? SolverKind::kIntegratedMatching
+                            : SolverKind::kPushRelabelBinary;
+}
 
 SolveResult solve(const RetrievalProblem& problem, SolverKind kind,
                   int threads) {
@@ -122,6 +82,12 @@ SolveResult solve(const RetrievalProblem& problem, SolverKind kind,
   metrics.binary_probes.add(static_cast<std::uint64_t>(result.binary_probes));
   metrics.maxflow_runs.add(static_cast<std::uint64_t>(result.maxflow_runs));
   return result;
+}
+
+SolveResult solve(const RetrievalProblem& problem,
+                  const SolveOptions& options) {
+  const SolverKind kind = options.kind.value_or(choose_solver(problem));
+  return solve(problem, kind, options.threads);
 }
 
 }  // namespace repflow::core

@@ -2,14 +2,38 @@
 // This is the primary public API entry point (see examples/quickstart.cpp).
 #pragma once
 
+#include <optional>
+
 #include "core/solver.h"
 #include "core/problem.h"
 
 namespace repflow::core {
 
+/// Facade options.  Leaving `kind` unset picks the solver adaptively from
+/// the problem's shape (see choose_solver); setting it pins one catalog
+/// kind.  `threads` only matters for kParallelPushRelabelBinary (ignored
+/// otherwise, must be >= 1).
+struct SolveOptions {
+  std::optional<SolverKind> kind;
+  int threads = 2;
+};
+
+/// The adaptive selection policy: every retrieval network is a bipartite
+/// b-matching, and the Hopcroft-Karp kernel wins whenever the bucket->disk
+/// adjacency is sparse (bounded replica degree — all the paper's workloads,
+/// where the copy count c is 2..5).  Dense instances (average replica
+/// degree above ~16, i.e. nearly-complete bipartite graphs) fall back to
+/// the integrated push-relabel driver, whose per-probe cost does not scale
+/// with the arc count the way phase BFS layering does.
+SolverKind choose_solver(const RetrievalProblem& problem);
+
 /// Solve `problem` with the chosen algorithm.  `threads` only matters for
 /// kParallelPushRelabelBinary (ignored otherwise, must be >= 1).
 SolveResult solve(const RetrievalProblem& problem, SolverKind kind,
                   int threads = 2);
+
+/// Options form: `solve(p, {})` runs the adaptive policy.
+SolveResult solve(const RetrievalProblem& problem,
+                  const SolveOptions& options);
 
 }  // namespace repflow::core

@@ -2,7 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/schedule.h"
 #include "graph/maxflow.h"
@@ -34,21 +37,71 @@ struct SolveResult {
   }
 };
 
+/// The solver catalog as an X-macro: every kind carries its enumerator, its
+/// short stable id (metric/span names, CLI flags) and its human-readable
+/// bench label in ONE place.  The enum, the id/name lookups, the facade's
+/// metrics table, and kAllSolverKinds are all generated from this list, so
+/// adding a SolverKind without its catalog entries is a compile error, not
+/// a runtime surprise (the exhaustiveness the tests used to probe at
+/// runtime now holds by construction).
+#define REPFLOW_SOLVER_CATALOG(X)                                            \
+  X(kFordFulkersonBasic, "alg1", "FF-basic (Alg 1)")                         \
+  X(kFordFulkersonIncremental, "alg2", "FF-incremental (Alg 2)")             \
+  X(kPushRelabelIncremental, "alg5", "PR-incremental (Alg 5)")               \
+  X(kPushRelabelBinary, "alg6", "PR-binary integrated (Alg 6)")              \
+  X(kBlackBoxBinary, "blackbox", "PR-binary black box [12]")                 \
+  X(kParallelPushRelabelBinary, "parallel", "PR-binary parallel (Sec V)")    \
+  X(kIntegratedMatching, "matching", "HK-matching integrated")
+
 /// Identifiers for the solver catalog (bench/series labels).
 enum class SolverKind {
-  kFordFulkersonBasic,        // Algorithm 1 [18], basic problem only
-  kFordFulkersonIncremental,  // Algorithms 2+3 (integrated FF, generalized)
-  kPushRelabelIncremental,    // Algorithm 5 (integrated PR, no scaling)
-  kPushRelabelBinary,         // Algorithm 6 (integrated PR + binary scaling)
-  kBlackBoxBinary,            // baseline [12] (black-box PR + binary scaling)
-  kParallelPushRelabelBinary, // Algorithm 6 with the lock-free parallel engine
+#define REPFLOW_SOLVER_ENUMERATOR(kind, id, name) kind,
+  REPFLOW_SOLVER_CATALOG(REPFLOW_SOLVER_ENUMERATOR)
+#undef REPFLOW_SOLVER_ENUMERATOR
 };
 
+/// Every catalog kind, in declaration order (tests and tools iterate this
+/// instead of hand-maintained lists).
+inline constexpr SolverKind kAllSolverKinds[] = {
+#define REPFLOW_SOLVER_KIND_ENTRY(kind, id, name) SolverKind::kind,
+    REPFLOW_SOLVER_CATALOG(REPFLOW_SOLVER_KIND_ENTRY)
+#undef REPFLOW_SOLVER_KIND_ENTRY
+};
+
+inline constexpr std::size_t kSolverKindCount = std::size(kAllSolverKinds);
+
 /// Human-readable label used in bench/table output.
-const char* solver_name(SolverKind kind);
+constexpr const char* solver_name(SolverKind kind) {
+  switch (kind) {
+#define REPFLOW_SOLVER_NAME_CASE(k, id, name) \
+  case SolverKind::k:                         \
+    return name;
+    REPFLOW_SOLVER_CATALOG(REPFLOW_SOLVER_NAME_CASE)
+#undef REPFLOW_SOLVER_NAME_CASE
+  }
+  return "?";
+}
 
 /// Short stable identifier ("alg1", "alg6", "blackbox", ...) used for
 /// metric/span names and CLI flags.
-const char* solver_id(SolverKind kind);
+constexpr const char* solver_id(SolverKind kind) {
+  switch (kind) {
+#define REPFLOW_SOLVER_ID_CASE(k, id, name) \
+  case SolverKind::k:                       \
+    return id;
+    REPFLOW_SOLVER_CATALOG(REPFLOW_SOLVER_ID_CASE)
+#undef REPFLOW_SOLVER_ID_CASE
+  }
+  return "?";
+}
+
+/// Inverse of solver_id() for CLI parsing; nullopt for unknown ids.
+constexpr std::optional<SolverKind> solver_kind_from_id(std::string_view id) {
+#define REPFLOW_SOLVER_FROM_ID_CASE(k, token, name) \
+  if (id == token) return SolverKind::k;
+  REPFLOW_SOLVER_CATALOG(REPFLOW_SOLVER_FROM_ID_CASE)
+#undef REPFLOW_SOLVER_FROM_ID_CASE
+  return std::nullopt;
+}
 
 }  // namespace repflow::core

@@ -88,6 +88,9 @@ void SolverPool::solve_into(const RetrievalProblem& problem, SolverKind kind,
       }
       parallel_->solve_into(problem, result);
       break;
+    case SolverKind::kIntegratedMatching:
+      slot(matching_).solve_into(problem, result);
+      break;
   }
   pool_metrics().retained_bytes.set(static_cast<double>(retained_bytes()));
 }
@@ -107,6 +110,7 @@ std::size_t SolverPool::retained_bytes() const {
   if (pr_binary_) total += pr_binary_->retained_bytes();
   if (black_box_) total += black_box_->retained_bytes();
   if (parallel_) total += parallel_->retained_bytes();
+  if (matching_) total += matching_->retained_bytes();
   return total;
 }
 

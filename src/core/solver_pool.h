@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "core/bipartite_matching.h"
 #include "core/black_box.h"
 #include "core/ford_fulkerson_basic.h"
 #include "core/ford_fulkerson_incremental.h"
@@ -61,6 +62,7 @@ class SolverPool {
   std::unique_ptr<PushRelabelBinarySolver> pr_binary_;
   std::unique_ptr<BlackBoxBinarySolver> black_box_;
   std::unique_ptr<PushRelabelBinarySolver> parallel_;
+  std::unique_ptr<IntegratedMatchingSolver> matching_;
 };
 
 }  // namespace repflow::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/solve.h"
 #include "obs/span.h"
 #include "support/timing.h"
 
@@ -80,9 +81,10 @@ StreamEvent QueryStreamScheduler::submit_problem(RetrievalProblem problem,
   obs::ScopedSpan span("stream.submit");
   StopWatch solve_watch;
   solve_watch.start();
+  const SolverKind kind = adaptive_ ? choose_solver(problem) : solver_;
   // Pooled solve into the reused scratch buffer: after the first query,
   // the solver-internal path allocates nothing.
-  pool_.solve_into(problem, solver_, scratch_result_);
+  pool_.solve_into(problem, kind, scratch_result_);
   const SolveResult& result = scratch_result_;
   solve_watch.stop();
 

@@ -78,6 +78,13 @@ class QueryStreamScheduler {
   StreamEvent submit_replicas(std::vector<std::vector<DiskId>> replicas,
                               double arrival_ms);
 
+  /// Adaptive solver selection: when on, every query picks its solver via
+  /// choose_solver() (the solve() facade's problem-shape heuristic) instead
+  /// of the constructor-pinned kind.  The pooled shells for every chosen
+  /// kind stay warm, so flipping between kinds costs one rebuild each.
+  void set_adaptive_selection(bool on) { adaptive_ = on; }
+  bool adaptive_selection() const { return adaptive_; }
+
   /// Busy horizon of a disk: the absolute time at which it finishes all
   /// work scheduled so far.
   double disk_free_at(DiskId disk) const { return busy_until_[disk]; }
@@ -97,6 +104,7 @@ class QueryStreamScheduler {
   const decluster::ReplicatedAllocation* allocation_;  // null in replay mode
   workload::SystemConfig system_;
   SolverKind solver_;
+  bool adaptive_ = false;
   int threads_;
   // Pooled solver shells + reused result buffer: consecutive queries of the
   // stream hit the same retained networks/workspaces, so the per-query

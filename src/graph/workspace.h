@@ -66,6 +66,50 @@ class VertexFifo {
   std::size_t tail_ = 0;
 };
 
+/// Scratch + state buffers for the bipartite b-matching kernel
+/// (core::BipartiteMatcher).  The matcher never materializes the flow
+/// network: the instance lives in two flat CSR arrays (bucket->replica-disk
+/// adjacency and per-disk matched-bucket slot lists) and the matching state
+/// in a handful of parallel vectors.  Like MaxflowWorkspace, every vector
+/// grows monotonically, so re-binding a same-footprint problem performs
+/// zero heap allocations.
+struct MatchingWorkspace {
+  // --- instance topology (rebuilt per bind) ---
+  std::vector<std::int32_t> first;       // bucket CSR offsets, size Q+1
+  std::vector<std::int32_t> adj;         // replica disk ids, bucket-major
+  std::vector<std::int32_t> in_degree;   // buckets adjacent to each disk
+  std::vector<std::int32_t> disk_first;  // slot-segment offsets, size N+1
+
+  // --- matching state ---
+  std::vector<std::int32_t> match;        // bucket -> matched disk, or -1
+  std::vector<std::int64_t> cap;          // current sink capacity per disk
+  std::vector<std::int32_t> load;         // buckets matched to each disk
+  std::vector<std::int32_t> slots;        // per-disk matched-bucket lists
+  std::vector<std::int32_t> free_buckets; // currently unmatched buckets
+
+  // --- per-phase scratch (Hopcroft-Karp BFS layering + DFS) ---
+  std::vector<std::int32_t> dist;          // bucket BFS layer (-1 = dead)
+  std::vector<std::uint32_t> bucket_epoch; // phase-stamped visited flags
+  std::vector<std::uint32_t> disk_epoch;
+  std::uint32_t epoch = 0;
+  std::vector<std::int32_t> queue;        // BFS frontier, capacity Q
+  std::vector<std::int32_t> stack_bucket; // DFS frames: bucket per depth
+  std::vector<std::int32_t> stack_arc;    //   current adjacency index
+  std::vector<std::int32_t> stack_slot;   //   current slot index (-1 = none)
+
+  std::size_t retained_bytes() const {
+    return (first.capacity() + adj.capacity() + in_degree.capacity() +
+            disk_first.capacity() + match.capacity() + load.capacity() +
+            slots.capacity() + free_buckets.capacity() + dist.capacity() +
+            queue.capacity() + stack_bucket.capacity() +
+            stack_arc.capacity() + stack_slot.capacity()) *
+               sizeof(std::int32_t) +
+           cap.capacity() * sizeof(std::int64_t) +
+           (bucket_epoch.capacity() + disk_epoch.capacity()) *
+               sizeof(std::uint32_t);
+  }
+};
+
 /// The pooled buffer set.  Field groups are disjoint per engine family;
 /// see each engine's header for which fields it claims.
 struct MaxflowWorkspace {
@@ -90,6 +134,9 @@ struct MaxflowWorkspace {
   // --- flow snapshots (Algorithm 6 driver) ---
   std::vector<Cap> flow_snapshot;
 
+  // --- bipartite b-matching kernel (core::BipartiteMatcher) ---
+  MatchingWorkspace matching;
+
   /// Capacity-based footprint estimate (feeds the workspace.retained_bytes
   /// gauge); counts retained heap blocks, not live elements.
   std::size_t retained_bytes() const {
@@ -104,7 +151,8 @@ struct MaxflowWorkspace {
            parent_arc.capacity() * sizeof(ArcId) +
            arc_path.capacity() * sizeof(ArcId) +
            level.capacity() * sizeof(std::int32_t) +
-           flow_snapshot.capacity() * sizeof(Cap);
+           flow_snapshot.capacity() * sizeof(Cap) +
+           matching.retained_bytes();
   }
 };
 

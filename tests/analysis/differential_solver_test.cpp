@@ -29,14 +29,9 @@ using core::RetrievalProblem;
 using core::SolveResult;
 using core::SolverKind;
 
-constexpr SolverKind kCatalog[] = {
-    SolverKind::kFordFulkersonBasic,
-    SolverKind::kFordFulkersonIncremental,
-    SolverKind::kPushRelabelIncremental,
-    SolverKind::kPushRelabelBinary,
-    SolverKind::kBlackBoxBinary,
-    SolverKind::kParallelPushRelabelBinary,
-};
+// The whole catalog, including every kind added after this test was
+// written: the list is generated from REPFLOW_SOLVER_CATALOG.
+constexpr auto& kCatalog = core::kAllSolverKinds;
 
 RetrievalProblem basic_shell(std::int32_t disks, std::int64_t buckets) {
   RetrievalProblem p;
@@ -176,6 +171,58 @@ TEST(DifferentialSolve, ZeroStartingCapacityFromDelaysAndLoads) {
     if (kind == SolverKind::kFordFulkersonBasic) continue;  // basic only
     expect_matches_oracle(problem, kind, oracle.response_time_ms,
                           "brute_force");
+  }
+}
+
+TEST(DifferentialSolve, MatchingKernelOnHighReplicationShapes) {
+  // Adversarial shape for the b-matching kernel: replica degrees up to the
+  // full disk set make the layer graph dense and force multi-phase
+  // augmentation, while heterogeneous costs exercise the capacity
+  // incrementer's direct (network-free) mode.
+  Rng rng(0xb1b2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto disks = static_cast<std::int32_t>(3 + rng.below(4));
+    const auto buckets = static_cast<std::int64_t>(4 + rng.below(6));
+    RetrievalProblem problem = basic_shell(disks, buckets);
+    for (auto& replica_set : problem.replicas) {
+      const auto copies =
+          1 + rng.below(static_cast<std::uint64_t>(disks));  // up to all
+      replica_set.clear();
+      while (replica_set.size() < copies) {
+        const auto d = static_cast<core::DiskId>(
+            rng.below(static_cast<std::uint64_t>(disks)));
+        bool seen = false;
+        for (core::DiskId have : replica_set) seen = seen || have == d;
+        if (!seen) replica_set.push_back(d);
+      }
+    }
+    for (std::size_t d = 0; d < static_cast<std::size_t>(disks); ++d) {
+      problem.system.cost_ms[d] = 1.0 + static_cast<double>(rng.below(4));
+      problem.system.delay_ms[d] = static_cast<double>(rng.below(3));
+      problem.system.init_load_ms[d] = static_cast<double>(rng.below(3));
+    }
+    problem.validate();
+    const SolveResult oracle = core::BruteForceSolver(problem).solve();
+    expect_matches_oracle(problem, SolverKind::kIntegratedMatching,
+                          oracle.response_time_ms, "brute_force");
+  }
+}
+
+TEST(DifferentialSolve, AdaptiveFacadeMatchesOracle) {
+  // solve(problem, {}) routes through choose_solver(); whatever kind the
+  // policy picks must deliver the oracle optimum.
+  Rng rng(424242);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto disks = static_cast<std::int32_t>(2 + rng.below(4));
+    const auto buckets = static_cast<std::int64_t>(1 + rng.below(8));
+    const RetrievalProblem problem =
+        random_general_problem(disks, buckets, rng);
+    const SolveResult oracle = core::BruteForceSolver(problem).solve();
+    const SolveResult adaptive = core::solve(problem, core::SolveOptions{});
+    EXPECT_DOUBLE_EQ(adaptive.response_time_ms, oracle.response_time_ms)
+        << "adaptive picked " << core::solver_id(core::choose_solver(problem));
+    const auto report = analysis::check_solve_result(problem, adaptive);
+    EXPECT_TRUE(report.ok()) << report.to_string();
   }
 }
 

@@ -112,6 +112,35 @@ TEST(ConcurrentSolveStress, BatchSolverConsecutiveBatches) {
   }
 }
 
+TEST(ConcurrentSolveStress, BatchSolverMatchingKernel) {
+  // Same shape as above, but the pooled workers run the b-matching kernel:
+  // TSan coverage for MatchingWorkspace reuse across worker threads.
+  Rng rng(212);
+  core::BatchOptions options;
+  options.threads = kThreads;
+  options.solver = SolverKind::kIntegratedMatching;
+  core::BatchSolver batch(options);
+  std::vector<SolveResult> results;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<RetrievalProblem> problems;
+    const auto count = 2 * kThreads + static_cast<int>(rng.below(8));
+    problems.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      problems.push_back(random_basic_problem(
+          4 + static_cast<std::int32_t>(rng.below(4)),
+          6 + static_cast<std::int64_t>(rng.below(12)), rng));
+    }
+    batch.solve_into(problems, results);
+    ASSERT_EQ(results.size(), problems.size());
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      const auto report =
+          analysis::check_solve_result(problems[i], results[i]);
+      EXPECT_TRUE(report.ok()) << "problem " << i << ": "
+                               << report.to_string();
+    }
+  }
+}
+
 TEST(ConcurrentSolveStress, PerThreadPoolsWithNestedParallelSolver) {
   // Shared immutable problem set, one SolverPool per thread; the parallel
   // kind spins up its own nested worker pool inside each thread.
@@ -130,9 +159,10 @@ TEST(ConcurrentSolveStress, PerThreadPoolsWithNestedParallelSolver) {
       for (int round = 0; round < kRounds; ++round) {
         const auto& problem =
             problems[static_cast<std::size_t>((t + round) % 6)];
-        const SolverKind kind = (round % 2 == 0)
-                                    ? SolverKind::kParallelPushRelabelBinary
-                                    : SolverKind::kPushRelabelBinary;
+        const SolverKind kind =
+            (round % 3 == 0)   ? SolverKind::kParallelPushRelabelBinary
+            : (round % 3 == 1) ? SolverKind::kPushRelabelBinary
+                               : SolverKind::kIntegratedMatching;
         pool.solve_into(problem, kind, result);
         if (!analysis::check_solve_result(problem, result).ok()) {
           failures.fetch_add(1, std::memory_order_relaxed);

@@ -109,10 +109,8 @@ TEST_P(BruteForceAgrees, WithAllSolversOnTinyInstances) {
   const double exhaustive = BruteForceSolver(p).solve().response_time_ms;
   EXPECT_NEAR(ReferenceSolver(p).solve().response_time_ms, exhaustive,
               kTimeEps);
-  for (SolverKind kind :
-       {SolverKind::kFordFulkersonIncremental,
-        SolverKind::kPushRelabelIncremental, SolverKind::kPushRelabelBinary,
-        SolverKind::kBlackBoxBinary, SolverKind::kParallelPushRelabelBinary}) {
+  for (SolverKind kind : kAllSolverKinds) {
+    if (kind == SolverKind::kFordFulkersonBasic) continue;  // basic-only
     EXPECT_NEAR(solve(p, kind, 2).response_time_ms, exhaustive, kTimeEps)
         << solver_name(kind);
   }
@@ -276,29 +274,44 @@ TEST(Trace, MalformedInputErrorsCarryLineNumbers) {
                      "line 4", "unknown line kind 'what'");
 }
 
-TEST(Solver, NameAndIdCoverEveryKind) {
-  const SolverKind kinds[] = {
-      SolverKind::kFordFulkersonBasic,   SolverKind::kFordFulkersonIncremental,
-      SolverKind::kPushRelabelIncremental, SolverKind::kPushRelabelBinary,
-      SolverKind::kBlackBoxBinary,       SolverKind::kParallelPushRelabelBinary,
-  };
-  std::set<std::string> names;
-  std::set<std::string> ids;
-  for (SolverKind kind : kinds) {
+// Compile-time exhaustiveness: solver_name/solver_id/solver_kind_from_id are
+// all generated from REPFLOW_SOLVER_CATALOG, so a SolverKind missing any of
+// its catalog entries fails these static_asserts (i.e. compilation, not a
+// runtime test).  The lambda runs over the generated kAllSolverKinds list so
+// new enumerators are covered automatically.
+constexpr bool catalog_is_exhaustive() {
+  for (SolverKind kind : kAllSolverKinds) {
     const char* name = solver_name(kind);
     const char* id = solver_id(kind);
-    ASSERT_NE(name, nullptr);
-    ASSERT_NE(id, nullptr);
-    EXPECT_FALSE(std::string(name).empty());
-    EXPECT_FALSE(std::string(id).empty());
-    names.insert(name);
-    ids.insert(id);
+    if (name == nullptr || id == nullptr) return false;
+    if (name[0] == '\0' || id[0] == '\0') return false;
+    if (name[0] == '?' || id[0] == '?') return false;  // switch fallback
+    // Round-trip: the id must parse back to the same enumerator.
+    const auto parsed = solver_kind_from_id(id);
+    if (!parsed.has_value() || *parsed != kind) return false;
   }
-  // Labels are distinct per enumerator (catch copy-paste in the switch).
-  EXPECT_EQ(names.size(), std::size(kinds));
-  EXPECT_EQ(ids.size(), std::size(kinds));
+  return true;
+}
+static_assert(catalog_is_exhaustive(),
+              "every SolverKind needs a REPFLOW_SOLVER_CATALOG entry");
+static_assert(kSolverKindCount == std::size(kAllSolverKinds));
+static_assert(solver_kind_from_id("matching") ==
+              SolverKind::kIntegratedMatching);
+static_assert(!solver_kind_from_id("no-such-solver").has_value());
+
+TEST(Solver, NameAndIdCoverEveryKind) {
+  std::set<std::string> names;
+  std::set<std::string> ids;
+  for (SolverKind kind : kAllSolverKinds) {
+    names.insert(solver_name(kind));
+    ids.insert(solver_id(kind));
+  }
+  // Labels are distinct per enumerator (catch copy-paste in the catalog).
+  EXPECT_EQ(names.size(), kSolverKindCount);
+  EXPECT_EQ(ids.size(), kSolverKindCount);
   EXPECT_TRUE(ids.contains("alg6"));
   EXPECT_TRUE(ids.contains("blackbox"));
+  EXPECT_TRUE(ids.contains("matching"));
 }
 
 TEST(Trace, ProblemIndexOutOfRange) {

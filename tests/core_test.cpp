@@ -329,13 +329,10 @@ TEST(Solvers, BlackBoxAlternateEnginesAgree) {
 
 TEST(Solvers, SolverNamesAreDistinct) {
   std::set<std::string> names;
-  for (SolverKind kind :
-       {SolverKind::kFordFulkersonBasic, SolverKind::kFordFulkersonIncremental,
-        SolverKind::kPushRelabelIncremental, SolverKind::kPushRelabelBinary,
-        SolverKind::kBlackBoxBinary, SolverKind::kParallelPushRelabelBinary}) {
+  for (SolverKind kind : kAllSolverKinds) {
     names.insert(solver_name(kind));
   }
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), kSolverKindCount);
 }
 
 }  // namespace

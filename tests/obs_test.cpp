@@ -257,6 +257,50 @@ TEST(Instrumentation, SolveFacadeFeedsPerSolverMetrics) {
   EXPECT_EQ(solves.value(), solves_before + 1);
 }
 
+TEST(Instrumentation, EveryCatalogKindPublishesSolveMetrics) {
+  // metrics_for() is generated from REPFLOW_SOLVER_CATALOG, so every kind
+  // — including ones added later — must land its solve in the
+  // solver.<id>.solve_ms histogram and bump solver.<id>.solves.
+  core::RetrievalProblem p;
+  p.system.num_sites = 1;
+  p.system.disks_per_site = 3;
+  p.system.cost_ms = {1.0, 1.0, 1.0};
+  p.system.delay_ms = {0.0, 0.0, 0.0};
+  p.system.init_load_ms = {0.0, 0.0, 0.0};
+  p.system.model = {"A", "A", "A"};
+  p.replicas = {{0, 1}, {1, 2}, {2, 0}};
+  p.validate();
+  for (core::SolverKind kind : core::kAllSolverKinds) {
+    const std::string prefix = std::string("solver.") + core::solver_id(kind);
+    Histogram& hist = Registry::global().histogram(prefix + ".solve_ms");
+    Counter& solves = Registry::global().counter(prefix + ".solves");
+    const std::uint64_t count_before = hist.summary().count;
+    const std::uint64_t solves_before = solves.value();
+    core::solve(p, kind, 2);
+    EXPECT_EQ(hist.summary().count, count_before + 1)
+        << core::solver_id(kind);
+    EXPECT_EQ(solves.value(), solves_before + 1) << core::solver_id(kind);
+  }
+}
+
+TEST(Instrumentation, MatchingKernelPublishesPhaseTelemetry) {
+  core::RetrievalProblem p;
+  p.system.num_sites = 1;
+  p.system.disks_per_site = 3;
+  p.system.cost_ms = {1.0, 2.0, 3.0};
+  p.system.delay_ms = {0.0, 1.0, 0.0};
+  p.system.init_load_ms = {0.0, 0.0, 2.0};
+  p.system.model = {"A", "A", "A"};
+  p.replicas = {{0, 1}, {1, 2}, {2, 0}, {0}, {1}};
+  p.validate();
+  Counter& phases = Registry::global().counter("matching.phase_count");
+  const std::uint64_t before = phases.value();
+  core::solve(p, core::SolverKind::kIntegratedMatching);
+  EXPECT_GT(phases.value(), before);
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  EXPECT_TRUE(snap.histograms.contains("matching.augmenting_path_len"));
+}
+
 TEST(Instrumentation, StreamStatsCarryLatencyHistograms) {
   const std::int32_t n = 4;
   const auto rep =

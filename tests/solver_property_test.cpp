@@ -55,8 +55,8 @@ TEST_P(SolversAgree, OnRandomInstances) {
     for (SolverKind kind :
          {SolverKind::kFordFulkersonIncremental,
           SolverKind::kPushRelabelIncremental, SolverKind::kPushRelabelBinary,
-          SolverKind::kBlackBoxBinary,
-          SolverKind::kParallelPushRelabelBinary}) {
+          SolverKind::kBlackBoxBinary, SolverKind::kParallelPushRelabelBinary,
+          SolverKind::kIntegratedMatching}) {
       const SolveResult r = solve(problem, kind, 2);
       EXPECT_NEAR(r.response_time_ms, optimum, kTimeEps)
           << solver_name(kind) << " trial " << trial << " |Q|="
@@ -171,6 +171,9 @@ TEST_P(SingleSiteCopies, MultiCopyRdaAgreesWithReference) {
                 optimum, kTimeEps);
     EXPECT_NEAR(solve(problem, SolverKind::kFordFulkersonBasic).response_time_ms,
                 optimum, kTimeEps);
+    EXPECT_NEAR(
+        solve(problem, SolverKind::kIntegratedMatching).response_time_ms,
+        optimum, kTimeEps);
   }
 }
 

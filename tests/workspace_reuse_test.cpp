@@ -77,14 +77,9 @@ using core::RetrievalProblem;
 using core::SolveResult;
 using core::SolverKind;
 
-constexpr SolverKind kCatalog[] = {
-    SolverKind::kFordFulkersonBasic,
-    SolverKind::kFordFulkersonIncremental,
-    SolverKind::kPushRelabelIncremental,
-    SolverKind::kPushRelabelBinary,
-    SolverKind::kBlackBoxBinary,
-    SolverKind::kParallelPushRelabelBinary,
-};
+// The whole catalog (generated from REPFLOW_SOLVER_CATALOG), so any new
+// kind is automatically held to the zero-allocation and bit-identity bars.
+constexpr auto& kCatalog = core::kAllSolverKinds;
 
 /// Random *basic* problem (equal costs, zero delays/loads) so the whole
 /// catalog, Algorithm 1 included, accepts it.
@@ -146,6 +141,8 @@ SolveResult fresh_solve(const RetrievalProblem& problem, SolverKind kind) {
       return core::PushRelabelBinarySolver(
                  problem, parallel::parallel_engine_factory(1))
           .solve();
+    case SolverKind::kIntegratedMatching:
+      return core::IntegratedMatchingSolver(problem).solve();
   }
   return {};
 }

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate: compare a fresh bench run against committed baselines.
+
+Inputs:
+  * a google-benchmark JSON file (``--bench-json``), compared per-benchmark
+    against the ``micro_matching.real_time_ns`` table of the baseline;
+  * a metrics sidecar JSON (``--stream-metrics``) from
+    ``stream_throughput --metrics-json=...``, whose ``stream.throughput_qps``
+    gauge must clear the baseline's ``gate_min_matching_qps`` floor.
+
+CI runners are noisy shared machines, so the timing comparison is
+deliberately generous: a benchmark only fails when it is more than
+``--tolerance`` (default 2.0) times slower than the committed number.
+Genuine algorithmic regressions (accidentally falling off the
+zero-allocation path, a kernel devolving to per-query rebuilds) show up as
+3-10x slowdowns and trip the gate; scheduler jitter does not.
+
+Exit status: 0 = within tolerance, 1 = regression or malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_json(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"check_bench_regression: cannot read {path}: {exc}")
+
+
+def check_bench_times(baseline: dict, bench_path: str, tolerance: float):
+    """Compare fresh google-benchmark real_time against the baseline table."""
+    table = baseline.get("micro_matching", {}).get("real_time_ns", {})
+    if not table:
+        sys.exit("baseline has no micro_matching.real_time_ns table")
+    fresh = {
+        b["name"]: float(b["real_time"])
+        for b in load_json(bench_path).get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+    failures = []
+    for name, base_ns in table.items():
+        got = fresh.get(name)
+        if got is None:
+            # A benchmark that vanished is itself a regression: the gate
+            # would silently stop covering it.
+            failures.append(f"{name}: missing from {bench_path}")
+            continue
+        limit = tolerance * float(base_ns)
+        verdict = "ok" if got <= limit else "REGRESSED"
+        print(f"{name:55s} base={base_ns:>12.0f}ns "
+              f"now={got:>12.0f}ns limit={limit:>12.0f}ns {verdict}")
+        if got > limit:
+            failures.append(
+                f"{name}: {got:.0f}ns > {tolerance:g}x baseline "
+                f"({base_ns:.0f}ns)")
+    return failures
+
+
+def check_stream_metrics(baseline: dict, metrics_path: str):
+    """The stream run must sustain the baseline's QPS floor."""
+    floor = baseline.get("stream_throughput", {}).get(
+        "gate_min_matching_qps")
+    if floor is None:
+        sys.exit("baseline has no stream_throughput.gate_min_matching_qps")
+    metrics = load_json(metrics_path)
+    qps = metrics.get("gauges", {}).get("stream.throughput_qps")
+    if qps is None:
+        return ["stream.throughput_qps gauge not published in "
+                f"{metrics_path}"]
+    print(f"stream.throughput_qps = {qps:.0f} (floor {floor})")
+    if qps < floor:
+        return [f"stream throughput regressed: {qps:.0f} qps < {floor}"]
+    return []
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_matching.json",
+                        help="committed baseline JSON")
+    parser.add_argument("--bench-json",
+                        help="fresh google-benchmark JSON output")
+    parser.add_argument("--stream-metrics",
+                        help="fresh stream_throughput metrics sidecar")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="slowdown factor that fails the gate")
+    args = parser.parse_args()
+    if not args.bench_json and not args.stream_metrics:
+        parser.error("nothing to check: pass --bench-json and/or "
+                     "--stream-metrics")
+
+    baseline = load_json(args.baseline)
+    failures = []
+    if args.bench_json:
+        failures += check_bench_times(baseline, args.bench_json,
+                                      args.tolerance)
+    if args.stream_metrics:
+        failures += check_stream_metrics(baseline, args.stream_metrics)
+
+    if failures:
+        print("\nPERF REGRESSIONS:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
