@@ -7,11 +7,14 @@
 // and the mean bottleneck backlog — comparing the optimal integrated
 // scheduler against a naive "first replica" strategy to show how much the
 // max-flow formulation buys under load.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench/common.h"
+#include "core/router.h"
 #include "core/stream.h"
 #include "obs/metrics.h"
 #include "support/rng.h"
@@ -34,6 +37,16 @@ core::Schedule first_replica_schedule(const core::RetrievalProblem& p) {
   return s;
 }
 
+/// Exact percentile over the sample set (nearest-rank); the response times
+/// are virtual/model time, so this is deterministic for a fixed seed.
+double exact_percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(
+      pct * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -43,6 +56,13 @@ int main(int argc, char** argv) {
   extra.define("solver", "alg6",
                "stream solver: a catalog id (alg6|matching|...) or 'auto' "
                "for per-query adaptive selection");
+  extra.define("admission", "off",
+               "run the overload admission study: off (skip) | shed | "
+               "coalesce (the study always prints the no-admission baseline "
+               "alongside the chosen mode)");
+  extra.define("backlog-ms", "0",
+               "router backlog threshold for the admission study; 0 derives "
+               "4x the idle response time");
   const bench::SweepConfig config = bench::parse_sweep(
       argc, argv, "stream bench: optimal vs naive under arrival pressure",
       &extra);
@@ -159,6 +179,110 @@ int main(int argc, char** argv) {
   std::printf("\nscheduler throughput (%s): %.0f queries/s over %lld solves\n",
               adaptive ? "auto" : core::solver_id(stream_kind), qps,
               static_cast<long long>(total_solved));
+
+  // Overload admission study (--admission=shed|coalesce): push the same
+  // stream at >= 2x the sustainable rate through a QueryRouter in each
+  // admission mode and compare event-level tail latency.  All response
+  // times are virtual/model time, so the published gauges are
+  // deterministic for a fixed seed and can be gated tightly in CI
+  // (tools/check_bench_regression.py --router-metrics).
+  const std::string admission = extra.get("admission");
+  if (admission != "off") {
+    if (admission != "shed" && admission != "coalesce") {
+      std::fprintf(stderr, "unknown --admission '%s'\n", admission.c_str());
+      return 2;
+    }
+    // Idle response time R0 calibrates the sweep: a stream with mean
+    // interarrival R0 is roughly critically loaded (each query adds about
+    // R0 minus the seek delay of busy-horizon work to the bottleneck
+    // disk), so R0/2 and R0/4 are >= 2x and >= 4x overload.
+    double r0 = 0.0;
+    {
+      core::QueryStreamScheduler probe(rep, sys, stream_kind,
+                                       config.threads);
+      Rng rng(config.seed + 11);
+      for (int i = 0; i < 5; ++i) {
+        core::QueryStreamScheduler one(rep, sys, stream_kind,
+                                       config.threads);
+        r0 = std::max(r0, one.submit(gen.next(rng), 0.0).response_ms);
+      }
+    }
+    const double backlog_flag = extra.get_double("backlog-ms");
+    const double threshold = backlog_flag > 0.0 ? backlog_flag : 4.0 * r0;
+    std::printf(
+        "\nOverload admission study: idle response R0=%.1f ms, backlog "
+        "threshold %.1f ms, batch cap 32\n",
+        r0, threshold);
+
+    TablePrinter overload({"interarrival (ms)", "mode", "events", "shed",
+                           "flushes", "dedup", "p99 resp (ms)",
+                           "max backlog (ms)"});
+    for (const double divisor : {2.0, 4.0}) {
+      const double interarrival = r0 / divisor;
+      for (const std::string& mode_name :
+           std::vector<std::string>{"off", admission}) {
+        core::RouterOptions ropts;
+        ropts.max_backlog_ms = threshold;
+        if (mode_name == "shed") ropts.mode = core::AdmissionMode::kShed;
+        if (mode_name == "coalesce") {
+          ropts.mode = core::AdmissionMode::kCoalesce;
+        }
+        core::QueryStreamScheduler stream(rep, sys, stream_kind,
+                                          config.threads);
+        stream.set_adaptive_selection(adaptive);
+        core::QueryRouter router(stream, ropts);
+        Rng rng(config.seed + 1);  // identical arrivals across modes
+        double t = 0.0;
+        for (std::int32_t i = 0; i < stream_len; ++i) {
+          router.submit(gen.next(rng), t);
+          t += interarrival * rng.uniform(0.5, 1.5);
+        }
+        router.flush(t);
+
+        std::vector<double> responses;
+        double max_backlog = 0.0;
+        for (const auto& e : stream.events()) {
+          responses.push_back(e.response_ms);
+          max_backlog = std::max(max_backlog, e.max_initial_load_ms);
+        }
+        const double p99 = exact_percentile(responses, 0.99);
+        const auto& rs = router.stats();
+        overload.add_row({format_double(interarrival, 1), mode_name,
+                          std::to_string(responses.size()),
+                          std::to_string(rs.shed),
+                          std::to_string(rs.flushes),
+                          std::to_string(rs.dedup_hits),
+                          format_double(p99, 1),
+                          format_double(max_backlog, 1)});
+        // Gauges keep the tightest (most overloaded) sweep point for the
+        // CI gate; last write wins across divisors.
+        obs::Registry::global()
+            .gauge("router.overload." + mode_name + "_p99_ms")
+            .set(p99);
+        obs::Registry::global()
+            .gauge("router.overload." + mode_name + "_max_backlog_ms")
+            .set(max_backlog);
+        if (mode_name != "off") {
+          obs::Registry::global()
+              .gauge("router.overload.shed_count")
+              .set(static_cast<double>(rs.shed));
+          obs::Registry::global()
+              .gauge("router.overload.flushes")
+              .set(static_cast<double>(rs.flushes));
+          obs::Registry::global()
+              .gauge("router.overload.dedup_hits")
+              .set(static_cast<double>(rs.dedup_hits));
+        }
+      }
+    }
+    overload.print(std::cout);
+    std::printf(
+        "\nshape to expect: the no-admission baseline's backlog (and with "
+        "it p99) grows\nwith stream length; shedding caps it by dropping "
+        "arrivals, coalescing by\nretrieving overlapping buckets of merged "
+        "queries once.\n");
+  }
+
   // stream_throughput drives QueryStreamScheduler directly rather than via
   // sweep_n(), so the metrics sidecar (workspace.reuse_hits / rebuilds /
   // retained_bytes among others) must be flushed explicitly.

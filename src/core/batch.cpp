@@ -5,12 +5,14 @@
 namespace repflow::core {
 
 BatchSolver::BatchSolver(BatchOptions options) : options_(options) {
-  if (options_.threads < 1 || options_.solver_threads < 1) {
+  if (options_.threads < 1 || options_.solver_threads < 1 ||
+      options_.effective_policy().threads < 1) {
     throw std::invalid_argument("BatchSolver: bad thread counts");
   }
-  pools_.reserve(static_cast<std::size_t>(options_.threads));
+  const ExecutionPolicy policy = options_.effective_policy();
+  contexts_.reserve(static_cast<std::size_t>(options_.threads));
   for (int t = 0; t < options_.threads; ++t) {
-    pools_.push_back(std::make_unique<SolverPool>(options_.solver_threads));
+    contexts_.push_back(std::make_unique<ExecutionContext>(policy));
   }
   if (options_.threads > 1) {
     workers_.reserve(static_cast<std::size_t>(options_.threads));
@@ -49,15 +51,21 @@ void BatchSolver::worker_entry(int index) {
 }
 
 void BatchSolver::drain(int index) {
-  SolverPool& pool = *pools_[static_cast<std::size_t>(index)];
+  ExecutionContext& context = *contexts_[static_cast<std::size_t>(index)];
   for (;;) {
+    // Fast abort: once any worker recorded an error, stop claiming work so
+    // the batch call returns instead of grinding through the tail.
+    if (abort_.load(std::memory_order_acquire)) return;
     const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
     if (i >= problems_->size()) return;
     try {
-      pool.solve_into((*problems_)[i], options_.solver, (*results_)[i]);
+      context.solve_into((*problems_)[i], (*results_)[i]);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      abort_.store(true, std::memory_order_release);
       return;
     }
   }
@@ -69,6 +77,7 @@ void BatchSolver::solve_into(const std::vector<RetrievalProblem>& problems,
   problems_ = &problems;
   results_ = &results;
   cursor_.store(0, std::memory_order_relaxed);
+  abort_.store(false, std::memory_order_relaxed);
   first_error_ = nullptr;
 
   if (options_.threads == 1 || problems.size() <= 1) {

@@ -1,5 +1,5 @@
 // Inter-query parallelism: solve a batch of retrieval problems across a
-// thread pool, one solver pool per worker.
+// thread pool, one serving context per worker.
 //
 // Section V parallelizes *within* one max-flow (intra-query).  Storage
 // arrays also face the embarrassingly parallel case of many independent
@@ -13,12 +13,13 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "core/execution.h"
 #include "core/problem.h"
 #include "core/solver.h"
-#include "core/solver_pool.h"
 
 namespace repflow::core {
 
@@ -27,13 +28,29 @@ struct BatchOptions {
   SolverKind solver = SolverKind::kPushRelabelBinary;
   /// Threads given to each solver (only for the parallel solver kind).
   int solver_threads = 1;
+  /// Per-worker serving policy.  When set it overrides `solver` /
+  /// `solver_threads` entirely (which then exist only for source
+  /// compatibility); leaving it empty pins `solver`, i.e.
+  /// ExecutionPolicy::pinned(solver, solver_threads).
+  std::optional<ExecutionPolicy> policy;
+
+  ExecutionPolicy effective_policy() const {
+    return policy ? *policy : ExecutionPolicy::pinned(solver, solver_threads);
+  }
 };
 
-/// Reusable batch executor: worker threads and their per-worker SolverPools
-/// persist across solve() calls, so consecutive batches reuse every solver
-/// shell instead of reconstructing them per batch.  Problems are
-/// distributed dynamically (an atomic cursor), so skewed query sizes
-/// load-balance.  Throws whatever a solver throws (first error wins).
+/// Reusable batch executor: worker threads and their per-worker
+/// ExecutionContexts persist across solve() calls, so consecutive batches
+/// reuse every solver shell instead of reconstructing them per batch.
+/// Problems are distributed dynamically (an atomic cursor), so skewed query
+/// sizes load-balance.
+///
+/// Error handling: throws whatever a solver throws (first error wins).  As
+/// soon as any worker's solve throws, the remaining workers stop claiming
+/// problems, so a poisoned batch cannot strand threads grinding through the
+/// tail.  On throw the contents of `results` are unspecified (a mix of
+/// solved and untouched slots) and the BatchSolver itself remains fully
+/// usable — the cursor and error slot are re-armed by the next solve call.
 class BatchSolver {
  public:
   explicit BatchSolver(BatchOptions options = {});
@@ -56,18 +73,21 @@ class BatchSolver {
 
  private:
   void worker_entry(int index);
-  /// Drain the shared cursor using worker `index`'s pool.
+  /// Drain the shared cursor using worker `index`'s context.
   void drain(int index);
 
   BatchOptions options_;
-  // One pool per worker (pools are single-threaded by design); unique_ptr
-  // because SolverPool is neither copyable nor movable.
-  std::vector<std::unique_ptr<SolverPool>> pools_;
+  // One serving context per worker (contexts are single-threaded by
+  // design); unique_ptr because ExecutionContext is non-copyable.
+  std::vector<std::unique_ptr<ExecutionContext>> contexts_;
 
   // Per-batch shared state (set by solve_into before waking the workers).
   const std::vector<RetrievalProblem>* problems_ = nullptr;
   std::vector<SolveResult>* results_ = nullptr;
   std::atomic<std::size_t> cursor_{0};
+  // Raised by the first throwing worker; every drain loop checks it before
+  // claiming another problem, so one failure stops the whole batch.
+  std::atomic<bool> abort_{false};
   std::exception_ptr first_error_;
   std::mutex error_mutex_;
 

@@ -364,7 +364,10 @@ void IntegratedMatchingSolver::solve_into(const RetrievalProblem& problem,
   std::int64_t reached = saved_matched;
   while (reached != q) {
     obs::ScopedSpan step("matching.capacity_step");
-    incrementer_.increment_min_cost();
+    // Same batched stepping as the alg6 driver: skip Hopcroft-Karp phases
+    // that cannot complete the matching while the usable capacity is still
+    // below |Q| (identical T and capacity-step sequence).
+    incrementer_.increment_until(q);
     reached = matcher_.augment_to_maximum();
   }
 

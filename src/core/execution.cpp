@@ -1,0 +1,150 @@
+#include "core/execution.h"
+
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/serving.h"
+#include "obs/span.h"
+
+namespace repflow::core {
+
+namespace {
+
+// Per-kind observability handles, resolved once per process.  Every solve
+// through an ExecutionContext — and therefore every solve issued by any of
+// the public entry points — passes through this funnel, so run-level
+// metrics (latency histogram, step/probe counters) are recorded exactly
+// once per solve; phase-level spans live inside the individual solvers.
+struct SolverMetrics {
+  obs::Histogram& solve_ms;
+  obs::Counter& solves;
+  obs::Counter& capacity_steps;
+  obs::Counter& binary_probes;
+  obs::Counter& maxflow_runs;
+  const char* span_name;
+};
+
+// The cases are generated from REPFLOW_SOLVER_CATALOG, so a SolverKind
+// cannot exist without its metrics entry; each kind pastes its id as a
+// string literal so the span name keeps static storage duration.
+SolverMetrics& metrics_for(SolverKind kind) {
+  switch (kind) {
+#define REPFLOW_SOLVER_METRICS_CASE(k, id, name)                            \
+  case SolverKind::k: {                                                     \
+    static SolverMetrics metrics = {                                       \
+        obs::Registry::global().histogram("solver." id ".solve_ms"),        \
+        obs::Registry::global().counter("solver." id ".solves"),            \
+        obs::Registry::global().counter("solver." id ".capacity_steps"),    \
+        obs::Registry::global().counter("solver." id ".binary_probes"),     \
+        obs::Registry::global().counter("solver." id ".maxflow_runs"),      \
+        "solve." id};                                                       \
+    return metrics;                                                         \
+  }
+    REPFLOW_SOLVER_CATALOG(REPFLOW_SOLVER_METRICS_CASE)
+#undef REPFLOW_SOLVER_METRICS_CASE
+  }
+  throw std::invalid_argument("metrics_for: unknown solver kind");
+}
+
+}  // namespace
+
+SolverKind select_by_degree(const RetrievalProblem& problem,
+                            double degree_threshold) {
+  const std::int64_t q = problem.query_size();
+  if (q == 0) return SolverKind::kIntegratedMatching;
+  std::int64_t arcs = 0;
+  for (const auto& options : problem.replicas) {
+    arcs += static_cast<std::int64_t>(options.size());
+  }
+  // Replica degree is the copy count c after deduplication: 2..5 on every
+  // paper workload, so the matching kernel is the default; only artificial
+  // nearly-complete instances cross the threshold.
+  const double avg_degree =
+      static_cast<double>(arcs) / static_cast<double>(q);
+  return avg_degree <= degree_threshold ? SolverKind::kIntegratedMatching
+                                        : SolverKind::kPushRelabelBinary;
+}
+
+ExecutionContext::ExecutionContext(ExecutionPolicy policy)
+    : policy_(policy), pool_(policy.threads) {}
+
+void ExecutionContext::set_policy(const ExecutionPolicy& policy) {
+  policy_ = policy;
+  pool_.set_threads(policy.threads);  // no-op unless the count changed
+}
+
+SolverKind ExecutionContext::select(const RetrievalProblem& problem) {
+  obs::PolicyInstruments& pi = obs::PolicyInstruments::global();
+  pi.decisions.add(1);
+  switch (policy_.mode) {
+    case SelectionMode::kPinned:
+      return policy_.pinned_kind;
+    case SelectionMode::kFixedThreshold:
+      return select_by_degree(problem, policy_.degree_threshold);
+    case SelectionMode::kHistogram: {
+      // The adaptive choice space is {matching, alg6} (the same two kinds
+      // the degree threshold arbitrates).  Once both solve-time histograms
+      // carry enough observations, the measured means replace the
+      // hard-coded cutover: the kind that has actually been faster on this
+      // workload wins.  In REPFLOW_OBS_DISABLED builds the histograms stay
+      // empty, so this mode permanently falls back to the threshold.
+      const obs::HistogramSummary matching =
+          metrics_for(SolverKind::kIntegratedMatching).solve_ms.summary();
+      const obs::HistogramSummary flow =
+          metrics_for(SolverKind::kPushRelabelBinary).solve_ms.summary();
+      if (matching.count >= policy_.min_samples &&
+          flow.count >= policy_.min_samples) {
+        pi.histogram_picks.add(1);
+        return matching.mean <= flow.mean ? SolverKind::kIntegratedMatching
+                                          : SolverKind::kPushRelabelBinary;
+      }
+      pi.histogram_fallbacks.add(1);
+      return select_by_degree(problem, policy_.degree_threshold);
+    }
+  }
+  throw std::logic_error("ExecutionContext::select: unknown selection mode");
+}
+
+void ExecutionContext::solve_into(const RetrievalProblem& problem,
+                                  SolveResult& result) {
+  solve_into(problem, select(problem), result);
+}
+
+void ExecutionContext::solve_into(const RetrievalProblem& problem,
+                                  SolverKind kind, SolveResult& result) {
+  SolverMetrics& metrics = metrics_for(kind);
+  obs::ScopedSpan span(metrics.span_name);
+  {
+    obs::ScopedLatency latency(metrics.solve_ms);
+    pool_.solve_into(problem, kind, result);
+  }
+  metrics.solves.add(1);
+  metrics.capacity_steps.add(
+      static_cast<std::uint64_t>(result.capacity_steps));
+  metrics.binary_probes.add(static_cast<std::uint64_t>(result.binary_probes));
+  metrics.maxflow_runs.add(static_cast<std::uint64_t>(result.maxflow_runs));
+}
+
+const SolveResult& ExecutionContext::solve_scratch(
+    const RetrievalProblem& problem) {
+  solve_into(problem, scratch_);
+  return scratch_;
+}
+
+SolveResult ExecutionContext::solve(const RetrievalProblem& problem) {
+  SolveResult result;
+  solve_into(problem, result);
+  return result;
+}
+
+IncrementalQuerySession ExecutionContext::open_session(
+    workload::SystemConfig system) {
+  static obs::Counter& sessions =
+      obs::Registry::global().counter("session.opened");
+  sessions.add(1);
+  // Guaranteed copy elision: the session is constructed in the caller's
+  // storage, so its internal engine-to-network references stay valid.
+  return IncrementalQuerySession(std::move(system));
+}
+
+}  // namespace repflow::core

@@ -26,8 +26,10 @@ void CapacityIncrementer::rebind(RetrievalNetwork& network) {
   caps_.clear();
   caps_.reserve(static_cast<std::size_t>(disks));
   live_.clear();
+  usable_ = 0;
   for (DiskId d = 0; d < disks; ++d) {
     caps_.push_back(network.net().capacity(network.sink_arc(d)));
+    usable_ += std::min<std::int64_t>(caps_.back(), network.in_degree(d));
     // A disk already saturated by its in-degree never joins the live set
     // (Algorithm 3 lines 3-5 would delete it on the first step anyway).
     if (network.in_degree(d) > caps_.back()) live_.push_back(d);
@@ -45,7 +47,11 @@ void CapacityIncrementer::rebind(const RetrievalProblem& problem,
   direct_caps_ = &caps;
   const std::int32_t disks = problem.total_disks();
   live_.clear();
+  usable_ = 0;
   for (DiskId d = 0; d < disks; ++d) {
+    usable_ += std::min<std::int64_t>(
+        caps[static_cast<std::size_t>(d)],
+        in_degree[static_cast<std::size_t>(d)]);
     if (in_degree[static_cast<std::size_t>(d)] >
         caps[static_cast<std::size_t>(d)]) {
       live_.push_back(d);
@@ -64,6 +70,17 @@ void CapacityIncrementer::bump(DiskId d) {
                                  caps_[static_cast<std::size_t>(d)]);
   }
   ++total_increments_;
+  // bump() is only reached for live disks (cap < in-degree), so the min in
+  // the usable-capacity sum grows by exactly one.
+  ++usable_;
+}
+
+double CapacityIncrementer::increment_until(std::int64_t needed) {
+  double last = increment_min_cost();
+  while (usable_ < needed) {
+    last = increment_min_cost();
+  }
+  return last;
 }
 
 double CapacityIncrementer::increment_min_cost() {

@@ -44,6 +44,22 @@ class CapacityIncrementer {
   /// if no live edge remains (the caller exceeded total capacity c*|Q|).
   double increment_min_cost();
 
+  /// Batched stepping for the integrated drivers' finish phase: performs
+  /// one IncrementMinCost step, then keeps stepping while the usable
+  /// capacity stays below `needed`.  Since any flow is bounded by
+  /// sum_d min(cap_d, in_degree_d), re-augmenting before that sum reaches
+  /// |Q| is provably futile; batching the tie-step sequence up to the
+  /// feasibility floor skips those no-op max-flow resumes without changing
+  /// the admitted capacity sequence — the response time T and the step
+  /// order are bit-identical to stepping one at a time.  Returns the cost
+  /// of the last step taken (the candidate response time now admitted).
+  double increment_until(std::int64_t needed);
+
+  /// sum_d min(cap_d, in_degree_d): an upper bound on any feasible flow
+  /// under the current capacities (each disk can absorb at most its
+  /// capacity, and at most its in-degree distinct buckets).
+  std::int64_t usable_capacity() const { return usable_; }
+
   /// Number of steps performed so far.
   std::int64_t steps() const { return steps_; }
 
@@ -74,6 +90,7 @@ class CapacityIncrementer {
   std::vector<std::int64_t> caps_;  // mirror of sink-arc capacities
   std::int64_t steps_ = 0;
   std::int64_t total_increments_ = 0;
+  std::int64_t usable_ = 0;  // sum_d min(cap_d, in_degree_d), kept in sync
 };
 
 /// The response-time search range of Algorithm 6 lines 1-11.

@@ -80,6 +80,7 @@ class IncrementalQuerySession {
   std::vector<graph::Vertex> bucket_vertex_;  // per bucket
   bool clean_ = true;  // no buckets added since last reoptimize
   std::int64_t capacity_steps_ = 0;
+  std::int64_t usable_ = 0;  // sum_d min(cap_d, in_degree_d) = sum_d cap_d
 };
 
 }  // namespace repflow::core

@@ -49,6 +49,21 @@ std::vector<std::int32_t> RetrievalProblem::disk_in_degrees() const {
   return degree;
 }
 
+std::vector<std::vector<DiskId>> replica_lists(
+    const decluster::ReplicatedAllocation& allocation,
+    const workload::Query& query) {
+  const std::int32_t n = allocation.grid_n();
+  std::vector<std::vector<DiskId>> lists;
+  lists.reserve(query.size());
+  for (decluster::BucketId b : query) {
+    if (b < 0 || b >= n * n) {
+      throw std::invalid_argument("replica_lists: bucket id out of grid");
+    }
+    lists.push_back(allocation.replica_disks_unique(b / n, b % n));
+  }
+  return lists;
+}
+
 RetrievalProblem build_problem(
     const decluster::ReplicatedAllocation& allocation,
     const workload::Query& query, workload::SystemConfig system) {
@@ -56,17 +71,9 @@ RetrievalProblem build_problem(
     throw std::invalid_argument(
         "build_problem: allocation and system disagree on disk count");
   }
-  const std::int32_t n = allocation.grid_n();
   RetrievalProblem problem;
   problem.system = std::move(system);
-  problem.replicas.reserve(query.size());
-  for (decluster::BucketId b : query) {
-    if (b < 0 || b >= n * n) {
-      throw std::invalid_argument("build_problem: bucket id out of grid");
-    }
-    problem.replicas.push_back(
-        allocation.replica_disks_unique(b / n, b % n));
-  }
+  problem.replicas = replica_lists(allocation, query);
   problem.validate();
   return problem;
 }

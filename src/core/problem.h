@@ -39,9 +39,16 @@ struct RetrievalProblem {
   }
 };
 
-/// Build the instance for `query` under `allocation` on `system`.
-/// Replica lists are deduplicated (a bucket whose copies collide on one
-/// disk contributes a single arc, matching the max-flow formulation).
+/// The per-bucket replica disk lists of `query` under `allocation`, in
+/// query order, deduplicated (a bucket whose copies collide on one disk
+/// contributes a single arc, matching the max-flow formulation).  Throws
+/// when a bucket id falls outside the allocation grid.
+std::vector<std::vector<DiskId>> replica_lists(
+    const decluster::ReplicatedAllocation& allocation,
+    const workload::Query& query);
+
+/// Build the instance for `query` under `allocation` on `system` (the
+/// replica_lists() mapping plus the system snapshot, validated).
 RetrievalProblem build_problem(const decluster::ReplicatedAllocation& allocation,
                                const workload::Query& query,
                                workload::SystemConfig system);

@@ -89,7 +89,11 @@ void PushRelabelBinarySolver::solve_into(const RetrievalProblem& problem,
   graph::Cap reached = saved_excess_t;
   while (reached != q) {
     obs::ScopedSpan step("alg6.capacity_step");
-    incrementer_.increment_min_cost();
+    // Batch capacity steps up to the usable-capacity floor |Q|: resuming
+    // the engine while sum_d min(cap_d, in_degree_d) < |Q| cannot reach q,
+    // so those augmentation passes are skipped (T and the admitted step
+    // sequence are unchanged; see CapacityIncrementer::increment_until).
+    incrementer_.increment_until(static_cast<std::int64_t>(q));
     reached = engine_->resume();
   }
 

@@ -1,0 +1,155 @@
+#include "core/router.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/serving.h"
+#include "obs/span.h"
+
+namespace repflow::core {
+
+QueryRouter::QueryRouter(QueryStreamScheduler& scheduler,
+                         RouterOptions options)
+    : scheduler_(scheduler), options_(options) {
+  if (options_.max_backlog_ms < 0.0) {
+    throw std::invalid_argument("QueryRouter: negative backlog threshold");
+  }
+  if (options_.max_coalesce < 1) {
+    throw std::invalid_argument("QueryRouter: max_coalesce must be >= 1");
+  }
+}
+
+RouterOutcome QueryRouter::submit(const workload::Query& query,
+                                  double arrival_ms) {
+  const decluster::ReplicatedAllocation* allocation =
+      scheduler_.allocation();
+  if (allocation == nullptr) {
+    throw std::logic_error(
+        "QueryRouter: scheduler has no allocation (trace-replay mode); use "
+        "submit_replicas");
+  }
+  return route(replica_lists(*allocation, query), &query, arrival_ms);
+}
+
+RouterOutcome QueryRouter::submit_replicas(
+    std::vector<std::vector<DiskId>> replicas, double arrival_ms) {
+  return route(std::move(replicas), nullptr, arrival_ms);
+}
+
+void QueryRouter::buffer(std::vector<std::vector<DiskId>>&& replicas,
+                         const workload::Query* buckets) {
+  obs::RouterInstruments& ri = obs::RouterInstruments::global();
+  for (std::size_t k = 0; k < replicas.size(); ++k) {
+    if (buckets != nullptr) {
+      // A bucket already waiting in the buffer is retrieved once for every
+      // query that asked for it: skip the duplicate arc set.
+      if (!pending_buckets_.insert((*buckets)[k]).second) {
+        ++stats_.dedup_hits;
+        ri.deduped.add(1);
+        continue;
+      }
+    }
+    pending_replicas_.push_back(std::move(replicas[k]));
+  }
+  ++pending_queries_;
+  ++stats_.coalesced;
+  stats_.max_pending = std::max(stats_.max_pending, pending_queries_);
+}
+
+RouterOutcome QueryRouter::route(std::vector<std::vector<DiskId>> replicas,
+                                 const workload::Query* buckets,
+                                 double arrival_ms) {
+  if (arrival_ms < last_arrival_ms_) {
+    throw std::invalid_argument(
+        "QueryRouter: arrivals must be non-decreasing");
+  }
+  last_arrival_ms_ = arrival_ms;
+
+  obs::RouterInstruments& ri = obs::RouterInstruments::global();
+  RouterOutcome outcome;
+  outcome.backlog_ms = scheduler_.max_backlog_at(arrival_ms);
+  ri.backlog_ms.observe(outcome.backlog_ms);
+  ++stats_.arrivals;
+
+  const bool overloaded = outcome.backlog_ms > options_.max_backlog_ms;
+
+  if (options_.mode == AdmissionMode::kShed && overloaded) {
+    obs::ScopedSpan span("router.shed");
+    ri.shed.add(1);
+    ++stats_.shed;
+    outcome.decision = RouterDecision::kShed;
+    return outcome;
+  }
+
+  if (options_.mode == AdmissionMode::kCoalesce) {
+    if (overloaded) {
+      // Defer: park the query in the merge buffer until the backlog
+      // drains (or the buffer fills).
+      buffer(std::move(replicas), buckets);
+      ri.coalesced.add(1);
+      ri.pending.set(static_cast<double>(pending_queries_));
+      if (pending_queries_ >= options_.max_coalesce) {
+        const std::int64_t batch =
+            static_cast<std::int64_t>(pending_queries_);
+        outcome.decision = RouterDecision::kFlushed;
+        outcome.event = flush_pending(arrival_ms);
+        outcome.merged = batch;
+      } else {
+        outcome.decision = RouterDecision::kCoalesced;
+      }
+      return outcome;
+    }
+    if (pending_queries_ > 0) {
+      // Backlog drained with queries waiting: ride them out together with
+      // the incoming query as one merged problem.
+      buffer(std::move(replicas), buckets);
+      ri.coalesced.add(1);
+      const std::int64_t batch = static_cast<std::int64_t>(pending_queries_);
+      outcome.decision = RouterDecision::kFlushed;
+      outcome.event = flush_pending(arrival_ms);
+      outcome.merged = batch;
+      return outcome;
+    }
+  }
+
+  // Plain admission (kOff, or an un-overloaded kShed/kCoalesce arrival
+  // with nothing pending).
+  obs::ScopedSpan span("router.admit");
+  ri.admitted.add(1);
+  ++stats_.admitted;
+  outcome.decision = RouterDecision::kAdmitted;
+  outcome.merged = 1;
+  outcome.event =
+      scheduler_.submit_replicas(std::move(replicas), arrival_ms);
+  return outcome;
+}
+
+std::optional<StreamEvent> QueryRouter::flush(double arrival_ms) {
+  if (arrival_ms < last_arrival_ms_) {
+    throw std::invalid_argument(
+        "QueryRouter: arrivals must be non-decreasing");
+  }
+  last_arrival_ms_ = arrival_ms;
+  if (pending_queries_ == 0) return std::nullopt;
+  return flush_pending(arrival_ms);
+}
+
+StreamEvent QueryRouter::flush_pending(double arrival_ms) {
+  obs::ScopedSpan span("router.flush");
+  obs::RouterInstruments& ri = obs::RouterInstruments::global();
+  ri.flushes.add(1);
+  ri.merged_batch.observe(static_cast<double>(pending_queries_));
+  ++stats_.flushes;
+  // One solve covers the whole batch; the scheduler derives the merged
+  // problem's X_j loads from the busy horizon at this instant, so the
+  // batch's joint response time is optimized exactly.
+  StreamEvent event =
+      scheduler_.submit_replicas(std::move(pending_replicas_), arrival_ms);
+  pending_replicas_ = {};
+  pending_buckets_.clear();
+  pending_queries_ = 0;
+  ri.pending.set(0.0);
+  return event;
+}
+
+}  // namespace repflow::core

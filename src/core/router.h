@@ -1,0 +1,144 @@
+// QueryRouter: admission-controlled front door for query streams.
+//
+// The stream scheduler solves every query it is handed, so under sustained
+// overload (arrival rate beyond what the disks can absorb) the busy
+// horizon — the X_j initial loads of the paper's Section II-A stream
+// model — grows without bound and response times diverge.  The router sits
+// in front of one QueryStreamScheduler and keys its decisions off the
+// scheduler's max outstanding X_j horizon at each arrival:
+//
+//   kOff      pass-through (measurement baseline),
+//   kShed     drop arrivals while the backlog exceeds the threshold,
+//   kCoalesce buffer arrivals while overloaded and submit them as ONE
+//             merged retrieval problem once the backlog drains (or the
+//             buffer fills).
+//
+// Coalescing is exact, not an approximation: a merged problem is the
+// *union* of the member queries' buckets (first-appearance order), and
+// since the X_j model derives every disk's initial load from the busy
+// horizon at the (shared) submission instant, the merged solve optimizes
+// the true joint response time of the batch — one max-flow instead of k,
+// with no model error.  Buckets shared by several buffered queries are
+// retrieved once for all of them (submit() dedups by bucket id), which is
+// where coalescing genuinely sheds work: overlapping range queries — the
+// paper's Section VI-B workload — collapse instead of re-fetching the same
+// blocks, so under sustained overload the merged stream can fall back
+// under the array's capacity while kOff diverges.  (submit_replicas() has
+// no bucket identities to compare, so it concatenates without dedup.)
+// Every decision is recorded in the `router.*` instruments
+// (src/obs/serving.h) and per-decision spans.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/stream.h"
+#include "workload/query.h"
+
+namespace repflow::core {
+
+enum class AdmissionMode {
+  kOff,       ///< admit everything (baseline)
+  kShed,      ///< drop arrivals while over the backlog threshold
+  kCoalesce,  ///< merge arrivals while over the backlog threshold
+};
+
+struct RouterOptions {
+  AdmissionMode mode = AdmissionMode::kOff;
+  /// Backlog threshold: the admission modes trigger when the scheduler's
+  /// max outstanding X_j horizon at an arrival exceeds this.  The default
+  /// (+inf) never triggers, making kShed/kCoalesce behave like kOff.
+  double max_backlog_ms = std::numeric_limits<double>::infinity();
+  /// kCoalesce: flush the merge buffer once it holds this many queries,
+  /// even if the backlog has not drained (bounds the batch size and the
+  /// wait of the oldest buffered query).
+  std::size_t max_coalesce = 32;
+};
+
+enum class RouterDecision {
+  kAdmitted,   ///< submitted alone, immediately
+  kShed,       ///< dropped; never reached the scheduler
+  kCoalesced,  ///< buffered; will ride a future merged submission
+  kFlushed,    ///< submitted as part of a merged batch (buffer drained)
+};
+
+/// What happened to one arrival (or to a flush() call).
+struct RouterOutcome {
+  RouterDecision decision = RouterDecision::kAdmitted;
+  /// The scheduler's max outstanding X_j horizon at this arrival.
+  double backlog_ms = 0.0;
+  /// Queries contained in the submission this arrival produced (1 for a
+  /// plain admit, the batch size for a flush, 0 for shed/coalesced).
+  std::int64_t merged = 0;
+  /// The scheduler event, when a submission actually happened.  A flushed
+  /// event's schedule covers all merged queries' buckets in buffer order.
+  std::optional<StreamEvent> event;
+};
+
+struct RouterStats {
+  std::int64_t arrivals = 0;
+  std::int64_t admitted = 0;   ///< queries submitted alone
+  std::int64_t shed = 0;
+  std::int64_t coalesced = 0;  ///< queries that went through the buffer
+  std::int64_t flushes = 0;    ///< merged submissions
+  std::int64_t dedup_hits = 0; ///< buckets already waiting in the buffer
+  std::size_t max_pending = 0; ///< high-water mark of the merge buffer
+};
+
+/// Fronts one scheduler.  Not thread-safe (same discipline as the
+/// scheduler itself).  Arrivals must be non-decreasing, matching the
+/// scheduler's stream contract; violations throw std::invalid_argument
+/// before any state changes.
+class QueryRouter {
+ public:
+  QueryRouter(QueryStreamScheduler& scheduler, RouterOptions options);
+
+  /// Route one query arriving at `arrival_ms`.  Throws std::logic_error if
+  /// the scheduler is in trace-replay mode (no allocation to map bucket ids
+  /// through) — use submit_replicas there.
+  RouterOutcome submit(const workload::Query& query, double arrival_ms);
+
+  /// Route one query given directly as bucket replica lists (works in both
+  /// scheduler modes).
+  RouterOutcome submit_replicas(std::vector<std::vector<DiskId>> replicas,
+                                double arrival_ms);
+
+  /// Drain the merge buffer (if any) at `arrival_ms`, e.g. at end of
+  /// stream.  Returns the merged submission's event, or nullopt when the
+  /// buffer was empty.
+  std::optional<StreamEvent> flush(double arrival_ms);
+
+  /// Queries currently sitting in the merge buffer.
+  std::size_t pending() const { return pending_queries_; }
+
+  const RouterOptions& options() const { return options_; }
+  const RouterStats& stats() const { return stats_; }
+
+ private:
+  /// `buckets` (parallel to `replicas`) enables dedup when the caller knows
+  /// the bucket ids; null for the submit_replicas path.
+  RouterOutcome route(std::vector<std::vector<DiskId>> replicas,
+                      const workload::Query* buckets, double arrival_ms);
+  /// Append one query to the merge buffer, deduplicating against buckets
+  /// already buffered when ids are available.
+  void buffer(std::vector<std::vector<DiskId>>&& replicas,
+              const workload::Query* buckets);
+  /// Submit the merge buffer as one problem; pending state is re-armed.
+  StreamEvent flush_pending(double arrival_ms);
+
+  QueryStreamScheduler& scheduler_;
+  RouterOptions options_;
+  RouterStats stats_;
+  // Merge buffer: the union of the coalesced queries' bucket replica lists
+  // (first-appearance order), the id set backing dedup, and the query
+  // count for the batch histogram.
+  std::vector<std::vector<DiskId>> pending_replicas_;
+  std::unordered_set<decluster::BucketId> pending_buckets_;
+  std::size_t pending_queries_ = 0;
+  double last_arrival_ms_ = 0.0;
+};
+
+}  // namespace repflow::core

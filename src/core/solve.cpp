@@ -1,93 +1,40 @@
 #include "core/solve.h"
 
-#include <stdexcept>
-
-#include "core/solver_pool.h"
-#include "obs/metrics.h"
-#include "obs/span.h"
-
 namespace repflow::core {
 
-namespace {
-
-// Per-kind observability handles, resolved once per process.  The solve
-// facade is the single funnel every catalog solver passes through, so this
-// is where run-level metrics (latency histogram, step/probe counters) are
-// recorded; phase-level spans live inside the individual solvers.
-struct SolverMetrics {
-  obs::Histogram& solve_ms;
-  obs::Counter& solves;
-  obs::Counter& capacity_steps;
-  obs::Counter& binary_probes;
-  obs::Counter& maxflow_runs;
-  const char* span_name;
-};
-
-// The cases are generated from REPFLOW_SOLVER_CATALOG, so a SolverKind
-// cannot exist without its metrics entry; each kind pastes its id as a
-// string literal so the span name keeps static storage duration.
-SolverMetrics& metrics_for(SolverKind kind) {
-  switch (kind) {
-#define REPFLOW_SOLVER_METRICS_CASE(k, id, name)                            \
-  case SolverKind::k: {                                                     \
-    static SolverMetrics metrics = {                                       \
-        obs::Registry::global().histogram("solver." id ".solve_ms"),        \
-        obs::Registry::global().counter("solver." id ".solves"),            \
-        obs::Registry::global().counter("solver." id ".capacity_steps"),    \
-        obs::Registry::global().counter("solver." id ".binary_probes"),     \
-        obs::Registry::global().counter("solver." id ".maxflow_runs"),      \
-        "solve." id};                                                       \
-    return metrics;                                                         \
-  }
-    REPFLOW_SOLVER_CATALOG(REPFLOW_SOLVER_METRICS_CASE)
-#undef REPFLOW_SOLVER_METRICS_CASE
-  }
-  throw std::invalid_argument("metrics_for: unknown solver kind");
+ExecutionContext& thread_execution_context() {
+  // One context per thread: solver shells (networks, engines, workspaces)
+  // persist across facade calls, so steady-state solves reuse every
+  // working buffer instead of reallocating per query.
+  thread_local ExecutionContext context;
+  return context;
 }
 
-}  // namespace
-
 SolverKind choose_solver(const RetrievalProblem& problem) {
-  const std::int64_t q = problem.query_size();
-  if (q == 0) return SolverKind::kIntegratedMatching;
-  std::int64_t arcs = 0;
-  for (const auto& options : problem.replicas) {
-    arcs += static_cast<std::int64_t>(options.size());
-  }
-  // Replica degree is the copy count c after deduplication: 2..5 on every
-  // paper workload, so the matching kernel is the default; only artificial
-  // nearly-complete instances cross the threshold.
-  const double avg_degree =
-      static_cast<double>(arcs) / static_cast<double>(q);
-  return avg_degree <= 16.0 ? SolverKind::kIntegratedMatching
-                            : SolverKind::kPushRelabelBinary;
+  return select_by_degree(problem, 16.0);
 }
 
 SolveResult solve(const RetrievalProblem& problem, SolverKind kind,
                   int threads) {
-  SolverMetrics& metrics = metrics_for(kind);
-  obs::ScopedSpan span(metrics.span_name);
-  // One pool per thread: solver shells (networks, engines, workspaces)
-  // persist across facade calls, so steady-state solves reuse every
-  // working buffer instead of reallocating per query.
-  thread_local SolverPool pool(threads);
-  pool.set_threads(threads);
+  ExecutionContext& context = thread_execution_context();
+  context.pool().set_threads(threads);
   SolveResult result;
-  {
-    obs::ScopedLatency latency(metrics.solve_ms);
-    pool.solve_into(problem, kind, result);
-  }
-  metrics.solves.add(1);
-  metrics.capacity_steps.add(static_cast<std::uint64_t>(result.capacity_steps));
-  metrics.binary_probes.add(static_cast<std::uint64_t>(result.binary_probes));
-  metrics.maxflow_runs.add(static_cast<std::uint64_t>(result.maxflow_runs));
+  context.solve_into(problem, kind, result);
   return result;
 }
 
 SolveResult solve(const RetrievalProblem& problem,
                   const SolveOptions& options) {
-  const SolverKind kind = options.kind.value_or(choose_solver(problem));
-  return solve(problem, kind, options.threads);
+  return solve(problem, options.policy());
+}
+
+SolveResult solve(const RetrievalProblem& problem,
+                  const ExecutionPolicy& policy) {
+  ExecutionContext& context = thread_execution_context();
+  context.set_policy(policy);
+  SolveResult result;
+  context.solve_into(problem, result);
+  return result;
 }
 
 }  // namespace repflow::core

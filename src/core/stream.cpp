@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
-#include "core/solve.h"
 #include "obs/span.h"
 #include "support/timing.h"
 
@@ -11,12 +11,11 @@ namespace repflow::core {
 
 QueryStreamScheduler::QueryStreamScheduler(
     const decluster::ReplicatedAllocation& allocation,
-    workload::SystemConfig base_system, SolverKind solver, int threads)
+    workload::SystemConfig base_system, ExecutionPolicy policy)
     : allocation_(&allocation),
       system_(std::move(base_system)),
-      solver_(solver),
-      threads_(threads),
-      pool_(threads) {
+      pinned_kind_(policy.pinned_kind),
+      exec_(policy) {
   if (allocation_->total_disks() != system_.total_disks()) {
     throw std::invalid_argument(
         "QueryStreamScheduler: allocation/system disk count mismatch");
@@ -25,13 +24,26 @@ QueryStreamScheduler::QueryStreamScheduler(
 }
 
 QueryStreamScheduler::QueryStreamScheduler(workload::SystemConfig base_system,
-                                           SolverKind solver, int threads)
+                                           ExecutionPolicy policy)
     : allocation_(nullptr),
       system_(std::move(base_system)),
-      solver_(solver),
-      threads_(threads),
-      pool_(threads) {
+      pinned_kind_(policy.pinned_kind),
+      exec_(policy) {
   busy_until_.assign(static_cast<std::size_t>(system_.total_disks()), 0.0);
+}
+
+void QueryStreamScheduler::set_adaptive_selection(bool on) {
+  ExecutionPolicy policy = exec_.policy();
+  if (on) {
+    if (policy.mode == SelectionMode::kPinned) {
+      pinned_kind_ = policy.pinned_kind;  // remember for switching back
+      policy.mode = SelectionMode::kFixedThreshold;
+    }
+  } else {
+    policy.mode = SelectionMode::kPinned;
+    policy.pinned_kind = pinned_kind_;
+  }
+  exec_.set_policy(policy);
 }
 
 StreamEvent QueryStreamScheduler::submit(const workload::Query& query,
@@ -58,6 +70,14 @@ StreamEvent QueryStreamScheduler::submit_replicas(
   return submit_problem(std::move(problem), arrival_ms, max_backlog);
 }
 
+double QueryStreamScheduler::max_backlog_at(double arrival_ms) const {
+  double max_backlog = 0.0;
+  for (const double horizon : busy_until_) {
+    max_backlog = std::max(max_backlog, horizon - arrival_ms);
+  }
+  return std::max(0.0, max_backlog);
+}
+
 double QueryStreamScheduler::advance_loads(double arrival_ms) {
   if (arrival_ms < last_arrival_ms_) {
     throw std::invalid_argument(
@@ -81,11 +101,11 @@ StreamEvent QueryStreamScheduler::submit_problem(RetrievalProblem problem,
   obs::ScopedSpan span("stream.submit");
   StopWatch solve_watch;
   solve_watch.start();
-  const SolverKind kind = adaptive_ ? choose_solver(problem) : solver_;
-  // Pooled solve into the reused scratch buffer: after the first query,
-  // the solver-internal path allocates nothing.
-  pool_.solve_into(problem, kind, scratch_result_);
-  const SolveResult& result = scratch_result_;
+  // Policy selection + pooled solve into the reused scratch buffer: after
+  // the first query, the solver-internal path allocates nothing.
+  const SolverKind kind = exec_.select(problem);
+  exec_.solve_into(problem, kind, exec_.scratch());
+  const SolveResult& result = exec_.scratch();
   solve_watch.stop();
 
   // Advance each used disk's busy horizon by the work this schedule put on
@@ -135,6 +155,26 @@ StreamStats QueryStreamScheduler::stats() const {
   StreamStats s;
   s.queries = static_cast<std::int64_t>(events_.size());
   if (events_.empty()) return s;
+  // The makespan is a property of absolute completion times, which the
+  // histograms (observing relative latencies) do not carry.
+  for (const auto& e : events_) {
+    s.makespan_ms = std::max(s.makespan_ms, e.completion_ms);
+  }
+  s.queue_wait = queue_wait_hist_.summary();
+  s.solve_time = solve_hist_.summary();
+  s.response_time = response_hist_.summary();
+#if !defined(REPFLOW_OBS_DISABLED)
+  // The scalar fields are views over the histograms, which saw exactly one
+  // observation per event in the same order (count/sum/min/max are exact in
+  // obs::Histogram; only percentiles are bucket estimates), so these match
+  // an event-log pass bit for bit.
+  s.mean_response_ms = s.response_time.mean;
+  s.max_response_ms = s.response_time.max;
+  s.mean_queue_wait_ms = s.queue_wait.mean;
+  s.mean_solve_ms = s.solve_time.mean;
+#else
+  // Kill-switch builds compile the histograms to inert stubs (all-zero
+  // summaries), so the scalars fall back to the event log.
   double total_response = 0.0;
   double total_wait = 0.0;
   double total_solve = 0.0;
@@ -143,14 +183,11 @@ StreamStats QueryStreamScheduler::stats() const {
     total_wait += e.max_initial_load_ms;
     total_solve += e.solve_ms;
     s.max_response_ms = std::max(s.max_response_ms, e.response_ms);
-    s.makespan_ms = std::max(s.makespan_ms, e.completion_ms);
   }
   s.mean_response_ms = total_response / static_cast<double>(s.queries);
   s.mean_queue_wait_ms = total_wait / static_cast<double>(s.queries);
   s.mean_solve_ms = total_solve / static_cast<double>(s.queries);
-  s.queue_wait = queue_wait_hist_.summary();
-  s.solve_time = solve_hist_.summary();
-  s.response_time = response_hist_.summary();
+#endif
   return s;
 }
 

@@ -7,15 +7,21 @@
 // query's X_j initial-load vector from the residual work the earlier
 // schedules left on each disk, solving each query optimally with any solver
 // from the catalog, and recording per-query latency statistics.
+//
+// Solver selection and threading are owned by the scheduler's
+// ExecutionContext (docs/SERVING.md): construct with an ExecutionPolicy to
+// pin a kind, use the degree-threshold adaptive rule, or let the per-kind
+// solve-time histograms drive the choice.  Admission control under overload
+// (shedding / coalescing) is layered on top by QueryRouter (core/router.h).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "core/execution.h"
 #include "core/problem.h"
 #include "core/schedule.h"
 #include "core/solver.h"
-#include "core/solver_pool.h"
 #include "decluster/allocation.h"
 #include "obs/metrics.h"
 #include "workload/disks.h"
@@ -34,6 +40,14 @@ struct StreamEvent {
   Schedule schedule;
 };
 
+/// Latency statistics over a scheduler's processed queries.
+///
+/// The scalar mean_*/max_* fields are *views over the same observations*
+/// the HistogramSummary members carry: in normal builds they are computed
+/// from the per-scheduler histograms (count/sum/min/max are exact; only
+/// percentiles are bucket-estimates).  Under REPFLOW_OBS_DISABLED the
+/// histograms compile to inert stubs, so the scalars fall back to a direct
+/// pass over the event log and the summaries read all-zero.
 struct StreamStats {
   std::int64_t queries = 0;
   double mean_response_ms = 0.0;
@@ -56,18 +70,31 @@ struct StreamStats {
 class QueryStreamScheduler {
  public:
   /// `base_system` supplies cost C_j and delay D_j; its init_load entries
-  /// are ignored (the scheduler owns the busy horizon).
+  /// are ignored (the scheduler owns the busy horizon).  `policy` governs
+  /// per-query solver selection and threading.
   QueryStreamScheduler(const decluster::ReplicatedAllocation& allocation,
                        workload::SystemConfig base_system,
-                       SolverKind solver = SolverKind::kPushRelabelBinary,
-                       int threads = 2);
+                       ExecutionPolicy policy);
 
   /// Trace-replay mode: no allocation — every query must arrive as an
   /// explicit replica list through submit_replicas() (submit(query, ...)
   /// throws std::logic_error in this mode).
-  explicit QueryStreamScheduler(workload::SystemConfig base_system,
-                                SolverKind solver = SolverKind::kPushRelabelBinary,
-                                int threads = 2);
+  QueryStreamScheduler(workload::SystemConfig base_system,
+                       ExecutionPolicy policy);
+
+  /// Legacy pinned-kind forms (kept for source compatibility): equivalent
+  /// to passing ExecutionPolicy::pinned(solver, threads).
+  QueryStreamScheduler(const decluster::ReplicatedAllocation& allocation,
+                       workload::SystemConfig base_system,
+                       SolverKind solver = SolverKind::kPushRelabelBinary,
+                       int threads = 2)
+      : QueryStreamScheduler(allocation, std::move(base_system),
+                             ExecutionPolicy::pinned(solver, threads)) {}
+  explicit QueryStreamScheduler(
+      workload::SystemConfig base_system,
+      SolverKind solver = SolverKind::kPushRelabelBinary, int threads = 2)
+      : QueryStreamScheduler(std::move(base_system),
+                             ExecutionPolicy::pinned(solver, threads)) {}
 
   /// Process one query arriving at `arrival_ms` (must be non-decreasing
   /// across calls; throws otherwise).  Returns the event record.
@@ -79,15 +106,33 @@ class QueryStreamScheduler {
                               double arrival_ms);
 
   /// Adaptive solver selection: when on, every query picks its solver via
-  /// choose_solver() (the solve() facade's problem-shape heuristic) instead
-  /// of the constructor-pinned kind.  The pooled shells for every chosen
-  /// kind stay warm, so flipping between kinds costs one rebuild each.
-  void set_adaptive_selection(bool on) { adaptive_ = on; }
-  bool adaptive_selection() const { return adaptive_; }
+  /// the degree-threshold rule (the solve() facade's problem-shape
+  /// heuristic) instead of the pinned kind.  Shorthand for swapping the
+  /// policy between kPinned and kFixedThreshold; use set_policy() for
+  /// histogram-driven selection.  The pooled shells for every chosen kind
+  /// stay warm, so flipping between kinds costs one rebuild each.
+  void set_adaptive_selection(bool on);
+  bool adaptive_selection() const {
+    return exec_.policy().mode != SelectionMode::kPinned;
+  }
+
+  /// The scheduler's serving policy (selection mode, threshold, threads).
+  const ExecutionPolicy& policy() const { return exec_.policy(); }
+  void set_policy(const ExecutionPolicy& policy) { exec_.set_policy(policy); }
 
   /// Busy horizon of a disk: the absolute time at which it finishes all
   /// work scheduled so far.
   double disk_free_at(DiskId disk) const { return busy_until_[disk]; }
+
+  /// The maximum outstanding X_j horizon a query arriving at `arrival_ms`
+  /// would observe: max over disks of (busy-until - arrival), clamped at
+  /// zero.  QueryRouter's admission decisions key off this value.
+  double max_backlog_at(double arrival_ms) const;
+
+  /// Null in trace-replay mode.
+  const decluster::ReplicatedAllocation* allocation() const {
+    return allocation_;
+  }
 
   /// Events processed so far, in submission order.
   const std::vector<StreamEvent>& events() const { return events_; }
@@ -103,14 +148,13 @@ class QueryStreamScheduler {
 
   const decluster::ReplicatedAllocation* allocation_;  // null in replay mode
   workload::SystemConfig system_;
-  SolverKind solver_;
-  bool adaptive_ = false;
-  int threads_;
-  // Pooled solver shells + reused result buffer: consecutive queries of the
-  // stream hit the same retained networks/workspaces, so the per-query
-  // solve itself performs zero steady-state heap allocations.
-  SolverPool pool_;
-  SolveResult scratch_result_;
+  /// The kind restored when adaptive selection is switched back off.
+  SolverKind pinned_kind_;
+  // The serving context: pooled solver shells + reused scratch result, so
+  // consecutive queries of the stream hit the same retained
+  // networks/workspaces and the per-query solve itself performs zero
+  // steady-state heap allocations.
+  ExecutionContext exec_;
   std::vector<double> busy_until_;  // absolute ms per disk
   std::vector<StreamEvent> events_;
   double last_arrival_ms_ = 0.0;

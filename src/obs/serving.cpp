@@ -1,0 +1,26 @@
+#include "obs/serving.h"
+
+namespace repflow::obs {
+
+PolicyInstruments& PolicyInstruments::global() {
+  static PolicyInstruments instruments{
+      Registry::global().counter("policy.decisions"),
+      Registry::global().counter("policy.histogram_fallbacks"),
+      Registry::global().counter("policy.histogram_picks")};
+  return instruments;
+}
+
+RouterInstruments& RouterInstruments::global() {
+  static RouterInstruments instruments{
+      Registry::global().counter("router.admitted"),
+      Registry::global().counter("router.shed"),
+      Registry::global().counter("router.coalesced"),
+      Registry::global().counter("router.flushes"),
+      Registry::global().counter("router.deduped"),
+      Registry::global().histogram("router.backlog_ms"),
+      Registry::global().histogram("router.merged_batch"),
+      Registry::global().gauge("router.pending")};
+  return instruments;
+}
+
+}  // namespace repflow::obs

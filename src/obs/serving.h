@@ -1,0 +1,59 @@
+// Instrument bundles for the serving layer (execution policy + query
+// router).  The serving spine records a metric on every query decision, so
+// the handles are resolved once per process and cached here — the hot path
+// never takes the registry mutex.  The metric names are part of the
+// observability contract (docs/OBSERVABILITY.md):
+//
+//   policy.decisions            counter  every ExecutionPolicy selection
+//   policy.histogram_fallbacks  counter  histogram mode fell back to the
+//                                        degree threshold (not enough
+//                                        samples yet)
+//   policy.histogram_picks      counter  histogram mode decided from the
+//                                        per-kind solve-time histograms
+//   router.admitted             counter  queries passed straight through
+//   router.shed                 counter  queries dropped under overload
+//   router.coalesced            counter  queries deferred into the pending
+//                                        merge buffer
+//   router.flushes              counter  merged problems submitted
+//   router.deduped              counter  buckets dropped from a merge
+//                                        because an identical bucket was
+//                                        already buffered
+//   router.backlog_ms           histogram max outstanding X_j horizon seen
+//                                        at each arrival
+//   router.merged_batch         histogram queries per flushed merge
+//   router.pending              gauge    current pending (coalesced) queries
+//
+// Under REPFLOW_OBS_DISABLED every handle degrades to the registry's inert
+// stubs, so the bundles stay source-compatible with the kill switch.
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace repflow::obs {
+
+/// Cached handles for the ExecutionPolicy decision path.
+struct PolicyInstruments {
+  Counter& decisions;
+  Counter& histogram_fallbacks;
+  Counter& histogram_picks;
+
+  /// Process-wide bundle (handles resolved on first use).
+  static PolicyInstruments& global();
+};
+
+/// Cached handles for the QueryRouter admission path.
+struct RouterInstruments {
+  Counter& admitted;
+  Counter& shed;
+  Counter& coalesced;
+  Counter& flushes;
+  Counter& deduped;
+  Histogram& backlog_ms;
+  Histogram& merged_batch;
+  Gauge& pending;
+
+  /// Process-wide bundle (handles resolved on first use).
+  static RouterInstruments& global();
+};
+
+}  // namespace repflow::obs

@@ -6,7 +6,13 @@ Inputs:
     against the ``micro_matching.real_time_ns`` table of the baseline;
   * a metrics sidecar JSON (``--stream-metrics``) from
     ``stream_throughput --metrics-json=...``, whose ``stream.throughput_qps``
-    gauge must clear the baseline's ``gate_min_matching_qps`` floor.
+    gauge must clear the baseline's ``gate_min_matching_qps`` floor;
+  * a metrics sidecar JSON (``--router-metrics``) from
+    ``stream_throughput --admission=coalesce --metrics-json=...``, whose
+    ``router.overload.*`` gauges must satisfy the baseline's
+    ``router_overload`` gates.  These response times are virtual/model
+    milliseconds — deterministic for a fixed seed — so unlike the wall-clock
+    gates no noise tolerance is applied.
 
 CI runners are noisy shared machines, so the timing comparison is
 deliberately generous: a benchmark only fails when it is more than
@@ -79,6 +85,40 @@ def check_stream_metrics(baseline: dict, metrics_path: str):
     return []
 
 
+def check_router_metrics(baseline: dict, metrics_path: str):
+    """The admission-controlled overload run must keep p99 bounded."""
+    gates = baseline.get("router_overload", {})
+    max_p99 = gates.get("gate_max_coalesce_p99_ms")
+    min_ratio = gates.get("gate_min_off_over_coalesce_p99_ratio")
+    if max_p99 is None or min_ratio is None:
+        sys.exit("baseline has no router_overload gates "
+                 "(gate_max_coalesce_p99_ms / "
+                 "gate_min_off_over_coalesce_p99_ratio)")
+    gauges = load_json(metrics_path).get("gauges", {})
+    off_p99 = gauges.get("router.overload.off_p99_ms")
+    coalesce_p99 = gauges.get("router.overload.coalesce_p99_ms")
+    failures = []
+    if off_p99 is None or coalesce_p99 is None:
+        return [f"router.overload.*_p99_ms gauges not published in "
+                f"{metrics_path} (run stream_throughput with "
+                f"--admission=coalesce)"]
+    ratio = off_p99 / coalesce_p99 if coalesce_p99 > 0 else float("inf")
+    print(f"router.overload.off_p99_ms      = {off_p99:.1f}")
+    print(f"router.overload.coalesce_p99_ms = {coalesce_p99:.1f} "
+          f"(gate <= {max_p99})")
+    print(f"off/coalesce p99 ratio          = {ratio:.1f}x "
+          f"(gate >= {min_ratio}x)")
+    if coalesce_p99 > max_p99:
+        failures.append(
+            f"coalesce p99 not bounded: {coalesce_p99:.1f} ms > "
+            f"{max_p99} ms")
+    if ratio < min_ratio:
+        failures.append(
+            f"admission control lost its edge: off/coalesce p99 ratio "
+            f"{ratio:.1f}x < {min_ratio}x")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default="BENCH_matching.json",
@@ -87,12 +127,15 @@ def main() -> int:
                         help="fresh google-benchmark JSON output")
     parser.add_argument("--stream-metrics",
                         help="fresh stream_throughput metrics sidecar")
+    parser.add_argument("--router-metrics",
+                        help="metrics sidecar from an --admission=coalesce "
+                             "overload run")
     parser.add_argument("--tolerance", type=float, default=2.0,
                         help="slowdown factor that fails the gate")
     args = parser.parse_args()
-    if not args.bench_json and not args.stream_metrics:
-        parser.error("nothing to check: pass --bench-json and/or "
-                     "--stream-metrics")
+    if not (args.bench_json or args.stream_metrics or args.router_metrics):
+        parser.error("nothing to check: pass --bench-json, "
+                     "--stream-metrics, and/or --router-metrics")
 
     baseline = load_json(args.baseline)
     failures = []
@@ -101,6 +144,8 @@ def main() -> int:
                                       args.tolerance)
     if args.stream_metrics:
         failures += check_stream_metrics(baseline, args.stream_metrics)
+    if args.router_metrics:
+        failures += check_router_metrics(baseline, args.router_metrics)
 
     if failures:
         print("\nPERF REGRESSIONS:", file=sys.stderr)
