@@ -32,6 +32,7 @@
 #include "core/trace.h"
 #include "obs/export_csv.h"
 #include "obs/export_json.h"
+#include "obs/export_prom.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "support/cli.h"
@@ -111,6 +112,10 @@ int main(int argc, char** argv) {
   flags.define("json", "", "dump the metrics+span snapshot as JSON");
   flags.define("csv-metrics", "", "dump the metrics snapshot as CSV");
   flags.define("csv-spans", "", "dump the span timeline as CSV");
+  flags.define("prom", "",
+               "dump the metrics snapshot in Prometheus text format "
+               "('-' for stdout); byte-identical to the HTTP exporter's "
+               "/metrics rendering of the same snapshot");
   flags.define("no-spans", "false", "leave the span tracer disabled");
   flags.define("check", "false",
                "verify flow/schedule invariants on every stage-1 result "
@@ -228,6 +233,21 @@ int main(int argc, char** argv) {
     if (!flags.get("csv-spans").empty() &&
         obs::write_spans_csv(flags.get("csv-spans"), spans)) {
       std::printf("wrote spans CSV: %s\n", flags.get("csv-spans").c_str());
+    }
+    const std::string prom_path = flags.get("prom");
+    if (!prom_path.empty()) {
+      // The same serializer the HTTP exporter's /metrics endpoint uses.
+      if (prom_path == "-") {
+        obs::write_metrics_prom(std::cout, snapshot);
+      } else {
+        std::ofstream out(prom_path);
+        if (!out) {
+          std::fprintf(stderr, "cannot open %s\n", prom_path.c_str());
+          return 1;
+        }
+        obs::write_metrics_prom(out, snapshot);
+        std::printf("wrote Prometheus snapshot: %s\n", prom_path.c_str());
+      }
     }
     return 0;
   } catch (const std::exception& e) {

@@ -1,10 +1,13 @@
 #include "core/execution.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/serving.h"
 #include "obs/span.h"
+#include "support/timing.h"
 
 namespace repflow::core {
 
@@ -76,33 +79,44 @@ void ExecutionContext::set_policy(const ExecutionPolicy& policy) {
 SolverKind ExecutionContext::select(const RetrievalProblem& problem) {
   obs::PolicyInstruments& pi = obs::PolicyInstruments::global();
   pi.decisions.add(1);
-  switch (policy_.mode) {
-    case SelectionMode::kPinned:
-      return policy_.pinned_kind;
-    case SelectionMode::kFixedThreshold:
-      return select_by_degree(problem, policy_.degree_threshold);
-    case SelectionMode::kHistogram: {
-      // The adaptive choice space is {matching, alg6} (the same two kinds
-      // the degree threshold arbitrates).  Once both solve-time histograms
-      // carry enough observations, the measured means replace the
-      // hard-coded cutover: the kind that has actually been faster on this
-      // workload wins.  In REPFLOW_OBS_DISABLED builds the histograms stay
-      // empty, so this mode permanently falls back to the threshold.
-      const obs::HistogramSummary matching =
-          metrics_for(SolverKind::kIntegratedMatching).solve_ms.summary();
-      const obs::HistogramSummary flow =
-          metrics_for(SolverKind::kPushRelabelBinary).solve_ms.summary();
-      if (matching.count >= policy_.min_samples &&
-          flow.count >= policy_.min_samples) {
-        pi.histogram_picks.add(1);
-        return matching.mean <= flow.mean ? SolverKind::kIntegratedMatching
-                                          : SolverKind::kPushRelabelBinary;
+  const SolverKind kind = [&]() -> SolverKind {
+    switch (policy_.mode) {
+      case SelectionMode::kPinned:
+        return policy_.pinned_kind;
+      case SelectionMode::kFixedThreshold:
+        return select_by_degree(problem, policy_.degree_threshold);
+      case SelectionMode::kHistogram: {
+        // The adaptive choice space is {matching, alg6} (the same two kinds
+        // the degree threshold arbitrates).  Once both solve-time histograms
+        // carry enough observations, the measured means replace the
+        // hard-coded cutover: the kind that has actually been faster on this
+        // workload wins.  In REPFLOW_OBS_DISABLED builds the histograms stay
+        // empty, so this mode permanently falls back to the threshold.
+        const obs::HistogramSummary matching =
+            metrics_for(SolverKind::kIntegratedMatching).solve_ms.summary();
+        const obs::HistogramSummary flow =
+            metrics_for(SolverKind::kPushRelabelBinary).solve_ms.summary();
+        if (matching.count >= policy_.min_samples &&
+            flow.count >= policy_.min_samples) {
+          pi.histogram_picks.add(1);
+          return matching.mean <= flow.mean ? SolverKind::kIntegratedMatching
+                                            : SolverKind::kPushRelabelBinary;
+        }
+        pi.histogram_fallbacks.add(1);
+        return select_by_degree(problem, policy_.degree_threshold);
       }
-      pi.histogram_fallbacks.add(1);
-      return select_by_degree(problem, policy_.degree_threshold);
     }
+    throw std::logic_error("ExecutionContext::select: unknown selection mode");
+  }();
+  // Tag the decision onto the ambient query's flight chain (id 0 = no query
+  // in flight, e.g. facade solves outside any serving loop).
+  const obs::ActiveQuery active = obs::QueryScope::current();
+  if (active.id != 0) {
+    obs::FlightRecorder::global().record(active.id,
+                                         obs::FlightEventKind::kPolicy, 0.0,
+                                         static_cast<std::int32_t>(kind));
   }
-  throw std::logic_error("ExecutionContext::select: unknown selection mode");
+  return kind;
 }
 
 void ExecutionContext::solve_into(const RetrievalProblem& problem,
@@ -114,15 +128,47 @@ void ExecutionContext::solve_into(const RetrievalProblem& problem,
                                   SolverKind kind, SolveResult& result) {
   SolverMetrics& metrics = metrics_for(kind);
   obs::ScopedSpan span(metrics.span_name);
-  {
-    obs::ScopedLatency latency(metrics.solve_ms);
-    pool_.solve_into(problem, kind, result);
-  }
+  // Manual stopwatch instead of ScopedLatency: the wall time also feeds the
+  // flight recorder's kSolve event below.
+  StopWatch watch;
+  watch.start();
+  pool_.solve_into(problem, kind, result);
+  watch.stop();
+  const double solve_wall_ms = watch.elapsed_ms();
+  metrics.solve_ms.observe(solve_wall_ms);
   metrics.solves.add(1);
   metrics.capacity_steps.add(
       static_cast<std::uint64_t>(result.capacity_steps));
   metrics.binary_probes.add(static_cast<std::uint64_t>(result.binary_probes));
   metrics.maxflow_runs.add(static_cast<std::uint64_t>(result.maxflow_runs));
+
+  const obs::ActiveQuery active = obs::QueryScope::current();
+  if (active.id != 0) {
+    obs::FlightRecorder::global().record(active.id,
+                                         obs::FlightEventKind::kSolve,
+                                         solve_wall_ms,
+                                         static_cast<std::int32_t>(kind));
+  }
+
+  // Per-disk utilization accounting: fold this schedule's service demand
+  // into the `disk.<j>.*` series.  One seam covers every entry point (the
+  // facade, stream scheduler, batch workers, and the router's coalesced
+  // solves all land here).  Steady state is one acquire load plus two
+  // relaxed adds per used disk; X_j backlog is deliberately excluded so
+  // busy_ms accumulates *new* service time (D_j + k*C_j), whose windowed
+  // rate / 1000 is the disk's utilization.
+  obs::DiskInstruments& disks = obs::DiskInstruments::global();
+  const std::size_t used =
+      std::min(result.schedule.per_disk_count.size(),
+               problem.system.delay_ms.size());
+  for (std::size_t d = 0; d < used; ++d) {
+    const std::int64_t k = result.schedule.per_disk_count[d];
+    if (k <= 0) continue;
+    obs::DiskInstrument& disk = disks.disk(static_cast<std::int32_t>(d));
+    disk.assigned_buckets.add(static_cast<std::uint64_t>(k));
+    disk.busy_ms.add(problem.system.delay_ms[d] +
+                     static_cast<double>(k) * problem.system.cost_ms[d]);
+  }
 }
 
 const SolveResult& ExecutionContext::solve_scratch(

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/serving.h"
+
 namespace repflow::core {
 
 namespace {
@@ -73,6 +75,10 @@ void CapacityIncrementer::bump(DiskId d) {
   // bump() is only reached for live disks (cap < in-degree), so the min in
   // the usable-capacity sum grows by exactly one.
   ++usable_;
+  // Per-disk attribution of the integrated drivers' capacity grants: this
+  // is the one seam every IncrementMinCost step passes through (one acquire
+  // load + one relaxed add after the first touch of disk d).
+  obs::DiskInstruments::global().disk(d).capacity_steps.add(1);
 }
 
 double CapacityIncrementer::increment_until(std::int64_t needed) {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/serving.h"
 #include "obs/span.h"
 
@@ -37,7 +38,8 @@ RouterOutcome QueryRouter::submit_replicas(
 }
 
 void QueryRouter::buffer(std::vector<std::vector<DiskId>>&& replicas,
-                         const workload::Query* buckets) {
+                         const workload::Query* buckets,
+                         std::uint64_t query_id, double arrival_ms) {
   obs::RouterInstruments& ri = obs::RouterInstruments::global();
   for (std::size_t k = 0; k < replicas.size(); ++k) {
     if (buckets != nullptr) {
@@ -51,6 +53,8 @@ void QueryRouter::buffer(std::vector<std::vector<DiskId>>&& replicas,
     }
     pending_replicas_.push_back(std::move(replicas[k]));
   }
+  if (pending_queries_ == 0) oldest_pending_arrival_ms_ = arrival_ms;
+  pending_ids_.push_back(query_id);
   ++pending_queries_;
   ++stats_.coalesced;
   stats_.max_pending = std::max(stats_.max_pending, pending_queries_);
@@ -66,7 +70,13 @@ RouterOutcome QueryRouter::route(std::vector<std::vector<DiskId>> replicas,
   last_arrival_ms_ = arrival_ms;
 
   obs::RouterInstruments& ri = obs::RouterInstruments::global();
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
   RouterOutcome outcome;
+  // Every arrival gets a flight-recorder id at the front door; the ambient
+  // scope carries it (plus the latency budget) through policy selection,
+  // the solve, and the schedule (DESIGN.md, "query-id propagation").
+  outcome.query_id = recorder.next_query_id();
+  obs::QueryScope scope(outcome.query_id, options_.latency_budget_ms);
   outcome.backlog_ms = scheduler_.max_backlog_at(arrival_ms);
   ri.backlog_ms.observe(outcome.backlog_ms);
   ++stats_.arrivals;
@@ -77,18 +87,32 @@ RouterOutcome QueryRouter::route(std::vector<std::vector<DiskId>> replicas,
     obs::ScopedSpan span("router.shed");
     ri.shed.add(1);
     ++stats_.shed;
+    recorder.record(outcome.query_id, obs::FlightEventKind::kShed,
+                    outcome.backlog_ms);
     outcome.decision = RouterDecision::kShed;
     return outcome;
   }
 
   if (options_.mode == AdmissionMode::kCoalesce) {
     if (overloaded) {
-      // Defer: park the query in the merge buffer until the backlog
-      // drains (or the buffer fills).
-      buffer(std::move(replicas), buckets);
+      // Defer: park the query in the merge buffer until the backlog drains,
+      // the buffer fills, or the oldest buffered query ages out.
+      buffer(std::move(replicas), buckets, outcome.query_id, arrival_ms);
       ri.coalesced.add(1);
       ri.pending.set(static_cast<double>(pending_queries_));
-      if (pending_queries_ >= options_.max_coalesce) {
+      recorder.record(outcome.query_id, obs::FlightEventKind::kCoalesce,
+                      outcome.backlog_ms);
+      const bool full = pending_queries_ >= options_.max_coalesce;
+      const bool aged = arrival_ms - oldest_pending_arrival_ms_ >=
+                        options_.max_coalesce_age_ms;
+      if (full || aged) {
+        if (aged && !full) {
+          // A time-based flush: the buffer is not full, but its oldest
+          // member has waited past the bound (partial overload would
+          // otherwise strand it indefinitely).
+          ri.age_flushes.add(1);
+          ++stats_.age_flushes;
+        }
         const std::int64_t batch =
             static_cast<std::int64_t>(pending_queries_);
         outcome.decision = RouterDecision::kFlushed;
@@ -102,8 +126,10 @@ RouterOutcome QueryRouter::route(std::vector<std::vector<DiskId>> replicas,
     if (pending_queries_ > 0) {
       // Backlog drained with queries waiting: ride them out together with
       // the incoming query as one merged problem.
-      buffer(std::move(replicas), buckets);
+      buffer(std::move(replicas), buckets, outcome.query_id, arrival_ms);
       ri.coalesced.add(1);
+      recorder.record(outcome.query_id, obs::FlightEventKind::kCoalesce,
+                      outcome.backlog_ms);
       const std::int64_t batch = static_cast<std::int64_t>(pending_queries_);
       outcome.decision = RouterDecision::kFlushed;
       outcome.event = flush_pending(arrival_ms);
@@ -117,6 +143,8 @@ RouterOutcome QueryRouter::route(std::vector<std::vector<DiskId>> replicas,
   obs::ScopedSpan span("router.admit");
   ri.admitted.add(1);
   ++stats_.admitted;
+  recorder.record(outcome.query_id, obs::FlightEventKind::kAdmit,
+                  outcome.backlog_ms);
   outcome.decision = RouterDecision::kAdmitted;
   outcome.merged = 1;
   outcome.event =
@@ -137,9 +165,18 @@ std::optional<StreamEvent> QueryRouter::flush(double arrival_ms) {
 StreamEvent QueryRouter::flush_pending(double arrival_ms) {
   obs::ScopedSpan span("router.flush");
   obs::RouterInstruments& ri = obs::RouterInstruments::global();
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  const double oldest_age_ms = arrival_ms - oldest_pending_arrival_ms_;
+  const std::int32_t batch = static_cast<std::int32_t>(pending_queries_);
   ri.flushes.add(1);
   ri.merged_batch.observe(static_cast<double>(pending_queries_));
+  ri.flush_age_ms.observe(oldest_age_ms);
   ++stats_.flushes;
+  // Stamp the flush onto every buffered member's chain, so a breach dump of
+  // a coalesced query shows when (and how large) its merged submission was.
+  for (const std::uint64_t id : pending_ids_) {
+    recorder.record(id, obs::FlightEventKind::kFlush, oldest_age_ms, batch);
+  }
   // One solve covers the whole batch; the scheduler derives the merged
   // problem's X_j loads from the busy horizon at this instant, so the
   // batch's joint response time is optimized exactly.
@@ -148,6 +185,7 @@ StreamEvent QueryRouter::flush_pending(double arrival_ms) {
   pending_replicas_ = {};
   pending_buckets_.clear();
   pending_queries_ = 0;
+  pending_ids_.clear();
   ri.pending.set(0.0);
   return event;
 }

@@ -10,8 +10,9 @@
 //   kOff      pass-through (measurement baseline),
 //   kShed     drop arrivals while the backlog exceeds the threshold,
 //   kCoalesce buffer arrivals while overloaded and submit them as ONE
-//             merged retrieval problem once the backlog drains (or the
-//             buffer fills).
+//             merged retrieval problem once the backlog drains, the buffer
+//             fills, or the oldest buffered query ages past
+//             max_coalesce_age_ms.
 //
 // Coalescing is exact, not an approximation: a merged problem is the
 // *union* of the member queries' buckets (first-appearance order), and
@@ -56,6 +57,20 @@ struct RouterOptions {
   /// even if the backlog has not drained (bounds the batch size and the
   /// wait of the oldest buffered query).
   std::size_t max_coalesce = 32;
+  /// kCoalesce: flush once the *oldest* buffered query has waited this many
+  /// (virtual) ms, even if the backlog has not drained and the buffer is
+  /// not full.  The router is virtual-time driven, so age is evaluated at
+  /// each arrival; under partial overload — backlog stuck above the
+  /// threshold but arrivals still trickling in — this bounds the wait of an
+  /// early coalesced query that a count-only trigger would strand.  +inf
+  /// (the default) disables the bound.  Age-forced flushes are counted in
+  /// `router.age_flushes`; every flush observes `router.flush_age_ms`.
+  double max_coalesce_age_ms = std::numeric_limits<double>::infinity();
+  /// Per-query latency budget for the flight recorder: a submission whose
+  /// optimal response time exceeds this triggers a breach dump (the query's
+  /// full admission->solve event chain is copied into the recorder's breach
+  /// log).  0 (the default) or +inf disables breach tracking.
+  double latency_budget_ms = 0.0;
 };
 
 enum class RouterDecision {
@@ -68,6 +83,10 @@ enum class RouterDecision {
 /// What happened to one arrival (or to a flush() call).
 struct RouterOutcome {
   RouterDecision decision = RouterDecision::kAdmitted;
+  /// Flight-recorder id assigned to this arrival (0 in
+  /// REPFLOW_OBS_DISABLED builds); every pipeline event of the query is
+  /// tagged with it.  See DESIGN.md, "query-id propagation".
+  std::uint64_t query_id = 0;
   /// The scheduler's max outstanding X_j horizon at this arrival.
   double backlog_ms = 0.0;
   /// Queries contained in the submission this arrival produced (1 for a
@@ -84,6 +103,7 @@ struct RouterStats {
   std::int64_t shed = 0;
   std::int64_t coalesced = 0;  ///< queries that went through the buffer
   std::int64_t flushes = 0;    ///< merged submissions
+  std::int64_t age_flushes = 0;///< flushes forced by max_coalesce_age_ms
   std::int64_t dedup_hits = 0; ///< buckets already waiting in the buffer
   std::size_t max_pending = 0; ///< high-water mark of the merge buffer
 };
@@ -123,9 +143,11 @@ class QueryRouter {
   RouterOutcome route(std::vector<std::vector<DiskId>> replicas,
                       const workload::Query* buckets, double arrival_ms);
   /// Append one query to the merge buffer, deduplicating against buckets
-  /// already buffered when ids are available.
+  /// already buffered when ids are available.  `query_id`/`arrival_ms` feed
+  /// the flight recorder and the age-based flush bound.
   void buffer(std::vector<std::vector<DiskId>>&& replicas,
-              const workload::Query* buckets);
+              const workload::Query* buckets, std::uint64_t query_id,
+              double arrival_ms);
   /// Submit the merge buffer as one problem; pending state is re-armed.
   StreamEvent flush_pending(double arrival_ms);
 
@@ -138,6 +160,11 @@ class QueryRouter {
   std::vector<std::vector<DiskId>> pending_replicas_;
   std::unordered_set<decluster::BucketId> pending_buckets_;
   std::size_t pending_queries_ = 0;
+  // Flight-recorder ids of the buffered queries (so a flush can stamp a
+  // kFlush event onto every member's chain) and the arrival instant of the
+  // oldest one (the age the time-based flush keys off).
+  std::vector<std::uint64_t> pending_ids_;
+  double oldest_pending_arrival_ms_ = 0.0;
   double last_arrival_ms_ = 0.0;
 };
 

@@ -1,9 +1,11 @@
 #include "core/stream.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/span.h"
 #include "support/timing.h"
 
@@ -99,6 +101,15 @@ StreamEvent QueryStreamScheduler::submit_problem(RetrievalProblem problem,
                                                  double arrival_ms,
                                                  double max_backlog) {
   obs::ScopedSpan span("stream.submit");
+  // Query-id propagation (DESIGN.md): reuse the router-owned ambient
+  // scope when one is active, otherwise self-assign an id so direct
+  // scheduler use still produces a complete flight chain.
+  obs::ActiveQuery active = obs::QueryScope::current();
+  std::optional<obs::QueryScope> own_scope;
+  if (active.id == 0) {
+    own_scope.emplace(obs::FlightRecorder::global().next_query_id());
+    active = obs::QueryScope::current();
+  }
   StopWatch solve_watch;
   solve_watch.start();
   // Policy selection + pooled solve into the reused scratch buffer: after
@@ -110,15 +121,25 @@ StreamEvent QueryStreamScheduler::submit_problem(RetrievalProblem problem,
 
   // Advance each used disk's busy horizon by the work this schedule put on
   // it (the response-time model's completion: D + X + k*C after arrival).
+  // The bottleneck disk (latest completion) doubles as the kSchedule
+  // event's detail.
+  std::int32_t bottleneck_disk = -1;
+  double bottleneck_completion = 0.0;
   for (std::size_t d = 0; d < busy_until_.size(); ++d) {
     const std::int64_t k = result.schedule.per_disk_count[d];
     if (k > 0) {
-      busy_until_[d] =
-          arrival_ms + problem.completion_time(static_cast<DiskId>(d), k);
+      const double completion =
+          problem.completion_time(static_cast<DiskId>(d), k);
+      busy_until_[d] = arrival_ms + completion;
+      if (completion > bottleneck_completion) {
+        bottleneck_completion = completion;
+        bottleneck_disk = static_cast<std::int32_t>(d);
+      }
     }
   }
 
   StreamEvent event;
+  event.query_id = active.id;
   event.arrival_ms = arrival_ms;
   event.response_ms = result.response_time_ms;
   event.completion_ms = arrival_ms + result.response_time_ms;
@@ -146,6 +167,19 @@ StreamEvent QueryStreamScheduler::submit_problem(RetrievalProblem problem,
   global_hists.queue_wait.observe(max_backlog);
   global_hists.solve.observe(event.solve_ms);
   global_hists.response.observe(event.response_ms);
+
+  if (active.id != 0) {
+    obs::FlightRecorder::global().record(active.id,
+                                         obs::FlightEventKind::kSchedule,
+                                         event.response_ms, bottleneck_disk);
+    // Budget breach: capture the query's full admission->solve chain while
+    // it is still in the ring (the scope's budget comes from the router's
+    // latency_budget_ms; self-assigned scopes carry no budget).
+    if (active.budget_ms > 0.0 && event.response_ms > active.budget_ms) {
+      obs::FlightRecorder::global().note_breach(active.id, event.response_ms,
+                                                active.budget_ms);
+    }
+  }
 
   events_.push_back(event);
   return event;

@@ -31,6 +31,11 @@ namespace repflow::core {
 
 /// One processed query of the stream.
 struct StreamEvent {
+  /// Flight-recorder id this submission's events were tagged with: the
+  /// router-assigned id when the submission arrived through a QueryRouter
+  /// scope, a scheduler-self-assigned id otherwise (0 in
+  /// REPFLOW_OBS_DISABLED builds).  DESIGN.md, "query-id propagation".
+  std::uint64_t query_id = 0;
   double arrival_ms = 0.0;        ///< when the query arrived
   double response_ms = 0.0;       ///< optimal response time (incl. waits)
   double completion_ms = 0.0;     ///< arrival + response

@@ -1,0 +1,152 @@
+#include "obs/export_prom.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace repflow::obs {
+
+namespace {
+
+/// Prometheus floats: finite values via the stream's shortest-roundtrip
+/// default, infinities as +Inf/-Inf (the exposition-format spelling).
+void write_value(std::ostream& out, double value) {
+  if (std::isinf(value)) {
+    out << (value > 0 ? "+Inf" : "-Inf");
+  } else if (std::isnan(value)) {
+    out << "NaN";
+  } else {
+    out << value;
+  }
+}
+
+void write_type(std::ostream& out, const std::string& family,
+                const char* type) {
+  out << "# TYPE " << family << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::string prom_sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void write_metrics_prom(std::ostream& out, const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string family = prom_sanitize(name) + "_total";
+    write_type(out, family, "counter");
+    out << family << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.accumulations) {
+    const std::string family = prom_sanitize(name) + "_total";
+    write_type(out, family, "counter");
+    out << family << ' ';
+    write_value(out, value);
+    out << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string family = prom_sanitize(name);
+    write_type(out, family, "gauge");
+    out << family << ' ';
+    write_value(out, value);
+    out << '\n';
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    const std::string family = prom_sanitize(name);
+    write_type(out, family, "histogram");
+    // Prometheus buckets are cumulative; the registry's are per-bucket.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < data.bucket_bounds.size(); ++i) {
+      cumulative += data.bucket_counts[i];
+      out << family << "_bucket{le=\"";
+      write_value(out, data.bucket_bounds[i]);
+      out << "\"} " << cumulative << '\n';
+    }
+    out << family << "_sum ";
+    write_value(out, data.summary.sum);
+    out << '\n';
+    out << family << "_count " << data.summary.count << '\n';
+  }
+}
+
+std::string metrics_prom_string(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  write_metrics_prom(os, snapshot);
+  return os.str();
+}
+
+void write_window_prom(std::ostream& out, const WindowSnapshot& window) {
+  if (window.seq == 0) return;
+  write_type(out, "repflow_window_seconds", "gauge");
+  out << "repflow_window_seconds " << window.window_ms / 1000.0 << '\n';
+  write_type(out, "repflow_window_seq", "gauge");
+  out << "repflow_window_seq " << window.seq << '\n';
+
+  if (!window.rates.empty()) {
+    write_type(out, "repflow_window_rate", "gauge");
+    for (const auto& [name, rate] : window.rates) {
+      out << "repflow_window_rate{metric=\"" << prom_sanitize(name)
+          << "\"} ";
+      write_value(out, rate);
+      out << '\n';
+    }
+    // Utilization: the windowed busy-time rate of `disk.<j>.busy_ms` is
+    // milliseconds of scheduled service per wall second; /1000 gives the
+    // busy fraction.  (Model time vs. wall time: on replayed/virtual
+    // streams this is "model-ms per wall second", still the right relative
+    // load signal between disks.)
+    bool typed = false;
+    for (const auto& [name, rate] : window.rates) {
+      if (name.rfind("disk.", 0) != 0) continue;
+      const std::size_t tail = name.rfind(".busy_ms");
+      if (tail == std::string::npos ||
+          tail + 8 != name.size()) {
+        continue;
+      }
+      // Label *values* are free-form in the exposition format — no metric
+      // -name sanitization (it would turn disk "7" into "_7").
+      const std::string disk = name.substr(5, tail - 5);
+      if (!typed) {
+        write_type(out, "repflow_disk_utilization", "gauge");
+        typed = true;
+      }
+      out << "repflow_disk_utilization{disk=\"" << disk << "\"} ";
+      write_value(out, rate / 1000.0);
+      out << '\n';
+    }
+  }
+
+  bool any = false;
+  for (const auto& [name, wh] : window.histograms) {
+    if (wh.count == 0) continue;
+    if (!any) {
+      write_type(out, "repflow_window_count", "gauge");
+      write_type(out, "repflow_window_mean_ms", "gauge");
+      write_type(out, "repflow_window_p50_ms", "gauge");
+      write_type(out, "repflow_window_p95_ms", "gauge");
+      write_type(out, "repflow_window_p99_ms", "gauge");
+      any = true;
+    }
+    const std::string label = "{metric=\"" + prom_sanitize(name) + "\"} ";
+    out << "repflow_window_count" << label << wh.count << '\n';
+    out << "repflow_window_mean_ms" << label << wh.mean_ms << '\n';
+    out << "repflow_window_p50_ms" << label << wh.p50_ms << '\n';
+    out << "repflow_window_p95_ms" << label << wh.p95_ms << '\n';
+    out << "repflow_window_p99_ms" << label << wh.p99_ms << '\n';
+  }
+}
+
+}  // namespace repflow::obs

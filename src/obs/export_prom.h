@@ -1,0 +1,44 @@
+// Prometheus text-format (version 0.0.4) rendering of a metrics snapshot
+// and of windowed telemetry.  ONE serializer backs every Prometheus
+// surface — the HTTP exporter's /metrics endpoint and `metrics_tool
+// --prom` — so their output is byte-identical for the same snapshot.
+//
+// Mapping:
+//   Counter      -> counter  `<name>_total`
+//   Accumulator  -> counter  `<name>_total` (monotonic double)
+//   Gauge        -> gauge    `<name>`
+//   Histogram    -> histogram `<name>` with cumulative `_bucket{le=...}`
+//                   rows, `_sum`, and `_count` (bounds stay in the
+//                   registry's native milliseconds; names already carry
+//                   their `_ms` unit)
+// Metric names are sanitized ([^a-zA-Z0-9_:] -> '_'), so `solver.alg6.
+// solve_ms` becomes `solver_alg6_solve_ms`.  Windowed series render as
+// labeled gauges (`repflow_window_rate{metric="..."}`) plus derived
+// `repflow_disk_utilization{disk="j"}` from the disk busy_ms rates.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/window.h"
+
+namespace repflow::obs {
+
+/// `solver.alg6.solve_ms` -> `solver_alg6_solve_ms` (leading digits get an
+/// underscore prefix, everything outside [a-zA-Z0-9_:] becomes '_').
+std::string prom_sanitize(std::string_view name);
+
+/// Render the cumulative snapshot (the shared serializer).
+void write_metrics_prom(std::ostream& out, const MetricsSnapshot& snapshot);
+std::string metrics_prom_string(const MetricsSnapshot& snapshot);
+
+/// Render one window as labeled gauges: `repflow_window_seconds`,
+/// `repflow_window_rate{metric=...}` for every counter/accumulator rate,
+/// `repflow_window_{count,p50_ms,p95_ms,p99_ms}{metric=...}` for every
+/// histogram with in-window observations, and
+/// `repflow_disk_utilization{disk=...}` derived from `disk.<j>.busy_ms`
+/// rates.  A zero-seq window renders nothing.
+void write_window_prom(std::ostream& out, const WindowSnapshot& window);
+
+}  // namespace repflow::obs

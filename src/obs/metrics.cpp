@@ -6,6 +6,39 @@
 
 namespace repflow::obs {
 
+double percentile_from_buckets(std::span<const double> bucket_bounds,
+                               std::span<const std::uint64_t> bucket_counts,
+                               double p, double min_clamp, double max_clamp) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : bucket_counts) total += c;
+  if (total == 0) return 0.0;
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    const std::uint64_t in_bucket = bucket_counts[i];
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    const double lower = i == 0 ? 0.0 : bucket_bounds[i - 1];
+    double upper = bucket_bounds[i];
+    if (!std::isfinite(upper)) {
+      // Overflow bucket: the observed max is the honest upper edge; with no
+      // max available, continue the geometric progression.
+      upper = std::isfinite(max_clamp) ? std::max(max_clamp, lower)
+                                       : 2.0 * lower;
+    }
+    // The rank's fractional position inside the bucket, in (0, 1].
+    const double pos = static_cast<double>(rank - cumulative) /
+                       static_cast<double>(in_bucket);
+    const double value = lower + pos * (upper - lower);
+    return std::min(std::max(value, min_clamp), max_clamp);
+  }
+  return max_clamp;
+}
+
 #if !defined(REPFLOW_OBS_DISABLED)
 
 namespace {
@@ -64,22 +97,18 @@ HistogramSummary Histogram::summary() const {
   s.max = max_.load(std::memory_order_relaxed);
   s.mean = s.sum / static_cast<double>(s.count);
 
-  auto percentile = [&](double p) {
-    const auto rank = static_cast<std::uint64_t>(
-        std::ceil(p * static_cast<double>(s.count)));
-    std::uint64_t cumulative = 0;
-    for (int i = 0; i < kBucketCount; ++i) {
-      cumulative += buckets_[i].load(std::memory_order_relaxed);
-      if (cumulative >= rank) {
-        // Clamp the open-ended top bucket to the observed max.
-        return std::min(bucket_bound(i), s.max);
-      }
-    }
-    return s.max;
-  };
-  s.p50 = percentile(0.50);
-  s.p95 = percentile(0.95);
-  s.p99 = percentile(0.99);
+  // Copy the live bucket counts once, then share the interpolating
+  // estimator with the windowed aggregator.  Clamping into the exact
+  // observed [min, max] makes single-value histograms report exactly.
+  double bounds[kBucketCount];
+  std::uint64_t counts[kBucketCount];
+  for (int i = 0; i < kBucketCount; ++i) {
+    bounds[i] = bucket_bound(i);
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.p50 = percentile_from_buckets(bounds, counts, 0.50, s.min, s.max);
+  s.p95 = percentile_from_buckets(bounds, counts, 0.95, s.min, s.max);
+  s.p99 = percentile_from_buckets(bounds, counts, 0.99, s.min, s.max);
   return s;
 }
 
@@ -115,6 +144,17 @@ Gauge& Registry::gauge(std::string_view name) {
   return *it->second;
 }
 
+Accumulator& Registry::accumulator(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = accumulators_.find(name);
+  if (it == accumulators_.end()) {
+    it = accumulators_
+             .emplace(std::string(name), std::make_unique<Accumulator>())
+             .first;
+  }
+  return *it->second;
+}
+
 Histogram& Registry::histogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
@@ -134,6 +174,9 @@ MetricsSnapshot Registry::snapshot() const {
   for (const auto& [name, gauge] : gauges_) {
     snap.gauges[name] = gauge->value();
   }
+  for (const auto& [name, accum] : accumulators_) {
+    snap.accumulations[name] = accum->value();
+  }
   for (const auto& [name, hist] : histograms_) {
     MetricsSnapshot::HistogramData data;
     data.summary = hist->summary();
@@ -152,6 +195,7 @@ void Registry::reset_values() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, accum] : accumulators_) accum->reset();
   for (auto& [name, hist] : histograms_) hist->reset();
 }
 

@@ -20,15 +20,19 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace repflow::obs {
 
-/// Order statistics of one histogram, estimated from its buckets (each
-/// percentile reports the upper bound of the bucket containing it, so the
-/// estimate errs high by at most one bucket width).
+/// Order statistics of one histogram, estimated from its buckets.  Each
+/// percentile linearly interpolates the rank position inside the bucket
+/// containing it (clamped to the exact observed min/max), so the estimate
+/// can err either way by at most one bucket width — half the worst-case
+/// error of reporting the bucket upper bound, and exact whenever the
+/// containing bucket holds a single repeated value.
 struct HistogramSummary {
   std::uint64_t count = 0;
   double sum = 0.0;
@@ -44,6 +48,8 @@ struct HistogramSummary {
 struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
+  /// Monotonic double sums (Accumulator values), e.g. `disk.<j>.busy_ms`.
+  std::map<std::string, double> accumulations;
   struct HistogramData {
     HistogramSummary summary;
     std::vector<double> bucket_bounds;   // upper bound of each bucket (ms)
@@ -51,6 +57,17 @@ struct MetricsSnapshot {
   };
   std::map<std::string, HistogramData> histograms;
 };
+
+/// Estimate the p-quantile (p in [0,1]) from bucket data: find the bucket
+/// containing the rank, linearly interpolate the rank's position inside it,
+/// and clamp into [min_clamp, max_clamp] (pass -inf/+inf to skip clamping;
+/// the open-ended overflow bucket uses max_clamp — or twice its lower bound
+/// when max_clamp is infinite — as its upper edge).  Works on plain
+/// snapshot data, so it is shared by Histogram::summary() and the windowed
+/// aggregator's per-window summaries.
+double percentile_from_buckets(std::span<const double> bucket_bounds,
+                               std::span<const std::uint64_t> bucket_counts,
+                               double p, double min_clamp, double max_clamp);
 
 #if !defined(REPFLOW_OBS_DISABLED)
 
@@ -71,6 +88,20 @@ class Counter {
 class Gauge {
  public:
   void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Monotonic double sum: a Counter for fractional quantities (milliseconds
+/// of busy time, bytes-as-doubles).  add() is one relaxed fetch_add; the
+/// windowed aggregator turns deltas into rates, so e.g. the per-disk
+/// `disk.<j>.busy_ms` series yields utilization as rate/1000.
+class Accumulator {
+ public:
+  void add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
   double value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
@@ -114,6 +145,7 @@ class Registry {
 
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
+  Accumulator& accumulator(std::string_view name);
   Histogram& histogram(std::string_view name);
 
   MetricsSnapshot snapshot() const;
@@ -126,6 +158,8 @@ class Registry {
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Accumulator>, std::less<>>
+      accumulators_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
@@ -166,6 +200,13 @@ class Gauge {
   void reset() {}
 };
 
+class Accumulator {
+ public:
+  void add(double) {}
+  double value() const { return 0.0; }
+  void reset() {}
+};
+
 class Histogram {
  public:
   static constexpr int kBucketCount = 0;
@@ -189,6 +230,7 @@ class Registry {
   static Registry& global();
   Counter& counter(std::string_view) { return counter_; }
   Gauge& gauge(std::string_view) { return gauge_; }
+  Accumulator& accumulator(std::string_view) { return accumulator_; }
   Histogram& histogram(std::string_view) { return histogram_; }
   MetricsSnapshot snapshot() const { return {}; }
   void reset_values() {}
@@ -196,6 +238,7 @@ class Registry {
  private:
   Counter counter_;
   Gauge gauge_;
+  Accumulator accumulator_;
   Histogram histogram_;
 };
 

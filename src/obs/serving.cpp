@@ -16,11 +16,39 @@ RouterInstruments& RouterInstruments::global() {
       Registry::global().counter("router.shed"),
       Registry::global().counter("router.coalesced"),
       Registry::global().counter("router.flushes"),
+      Registry::global().counter("router.age_flushes"),
       Registry::global().counter("router.deduped"),
       Registry::global().histogram("router.backlog_ms"),
       Registry::global().histogram("router.merged_batch"),
+      Registry::global().histogram("router.flush_age_ms"),
       Registry::global().gauge("router.pending")};
   return instruments;
 }
+
+#if !defined(REPFLOW_OBS_DISABLED)
+
+DiskInstruments& DiskInstruments::global() {
+  static DiskInstruments instruments;
+  return instruments;
+}
+
+DiskInstrument& DiskInstruments::resolve(std::size_t idx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DiskInstrument* slot = slots_[idx].load(std::memory_order_relaxed);
+  if (slot != nullptr) return *slot;
+  const std::string prefix =
+      idx < static_cast<std::size_t>(kMaxTracked)
+          ? "disk." + std::to_string(idx)
+          : std::string("disk.overflow");
+  Registry& registry = Registry::global();
+  owned_.push_back(DiskInstrument{
+      registry.accumulator(prefix + ".busy_ms"),
+      registry.counter(prefix + ".assigned_buckets"),
+      registry.counter(prefix + ".capacity_steps")});
+  slots_[idx].store(&owned_.back(), std::memory_order_release);
+  return owned_.back();
+}
+
+#endif  // REPFLOW_OBS_DISABLED
 
 }  // namespace repflow::obs

@@ -15,17 +15,41 @@
 //   router.coalesced            counter  queries deferred into the pending
 //                                        merge buffer
 //   router.flushes              counter  merged problems submitted
+//   router.age_flushes          counter  flushes forced because the oldest
+//                                        buffered query aged past the
+//                                        max_coalesce_age_ms bound
 //   router.deduped              counter  buckets dropped from a merge
 //                                        because an identical bucket was
 //                                        already buffered
 //   router.backlog_ms           histogram max outstanding X_j horizon seen
 //                                        at each arrival
 //   router.merged_batch         histogram queries per flushed merge
+//   router.flush_age_ms         histogram age of the oldest buffered query
+//                                        at each flush
 //   router.pending              gauge    current pending (coalesced) queries
+//
+// Per-disk utilization accounting (the live series the workload-feedback
+// placement direction consumes; recorded at the schedule-application seam
+// in ExecutionContext and at CapacityIncrementer::bump):
+//
+//   disk.<j>.busy_ms          accumulator  service time scheduled onto disk
+//                                          j (D_j + k*C_j per solve using it);
+//                                          windowed rate / 1000 = utilization
+//   disk.<j>.assigned_buckets counter      buckets the schedules assigned
+//   disk.<j>.capacity_steps   counter      sink-capacity bumps the
+//                                          integrated drivers granted disk j
 //
 // Under REPFLOW_OBS_DISABLED every handle degrades to the registry's inert
 // stubs, so the bundles stay source-compatible with the kill switch.
 #pragma once
+
+#include <cstdint>
+
+#if !defined(REPFLOW_OBS_DISABLED)
+#include <atomic>
+#include <deque>
+#include <mutex>
+#endif
 
 #include "obs/metrics.h"
 
@@ -47,13 +71,72 @@ struct RouterInstruments {
   Counter& shed;
   Counter& coalesced;
   Counter& flushes;
+  Counter& age_flushes;
   Counter& deduped;
   Histogram& backlog_ms;
   Histogram& merged_batch;
+  Histogram& flush_age_ms;
   Gauge& pending;
 
   /// Process-wide bundle (handles resolved on first use).
   static RouterInstruments& global();
 };
+
+/// Cached handles for one disk's utilization series.
+struct DiskInstrument {
+  Accumulator& busy_ms;
+  Counter& assigned_buckets;
+  Counter& capacity_steps;
+};
+
+#if !defined(REPFLOW_OBS_DISABLED)
+
+/// Lazily resolved per-disk bundles with a lock-free steady-state read
+/// path: the first touch of a disk id takes a mutex and registers the
+/// `disk.<j>.*` metrics; every later touch is one acquire load.  Ids at or
+/// beyond kMaxTracked share one `disk.overflow.*` bundle so a pathological
+/// disk count cannot grow the registry without bound.
+class DiskInstruments {
+ public:
+  static constexpr std::int32_t kMaxTracked = 512;
+
+  static DiskInstruments& global();
+
+  DiskInstrument& disk(std::int32_t j) {
+    const std::size_t idx =
+        j >= 0 && j < kMaxTracked ? static_cast<std::size_t>(j)
+                                  : static_cast<std::size_t>(kMaxTracked);
+    DiskInstrument* slot = slots_[idx].load(std::memory_order_acquire);
+    if (slot != nullptr) return *slot;
+    return resolve(idx);
+  }
+
+ private:
+  DiskInstrument& resolve(std::size_t idx);
+
+  std::atomic<DiskInstrument*> slots_[kMaxTracked + 1] = {};
+  std::mutex mutex_;
+  std::deque<DiskInstrument> owned_;  // stable addresses
+};
+
+#else  // REPFLOW_OBS_DISABLED
+
+class DiskInstruments {
+ public:
+  static constexpr std::int32_t kMaxTracked = 0;
+  static DiskInstruments& global() {
+    static DiskInstruments instruments;
+    return instruments;
+  }
+  DiskInstrument& disk(std::int32_t) { return instrument_; }
+
+ private:
+  Accumulator busy_ms_;
+  Counter assigned_buckets_;
+  Counter capacity_steps_;
+  DiskInstrument instrument_{busy_ms_, assigned_buckets_, capacity_steps_};
+};
+
+#endif  // REPFLOW_OBS_DISABLED
 
 }  // namespace repflow::obs

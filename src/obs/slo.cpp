@@ -1,0 +1,145 @@
+#include "obs/slo.h"
+
+#include <sstream>
+#include <utility>
+
+namespace repflow::obs {
+
+namespace {
+
+const char* percentile_name(SloPercentile p) {
+  switch (p) {
+    case SloPercentile::kP50: return "p50";
+    case SloPercentile::kP95: return "p95";
+    case SloPercentile::kP99: return "p99";
+  }
+  return "?";
+}
+
+double pick_percentile(const WindowedHistogram& wh, SloPercentile p) {
+  switch (p) {
+    case SloPercentile::kP50: return wh.p50_ms;
+    case SloPercentile::kP95: return wh.p95_ms;
+    case SloPercentile::kP99: return wh.p99_ms;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+SloObjective slo_latency(std::string name, std::string histogram,
+                         SloPercentile percentile, double bound_ms) {
+  SloObjective o;
+  o.name = std::move(name);
+  o.metric = std::move(histogram);
+  o.percentile = percentile;
+  o.bound = bound_ms;
+  return o;
+}
+
+SloObjective slo_ratio(std::string name, std::string numerator,
+                       std::string denominator, double bound) {
+  SloObjective o;
+  o.name = std::move(name);
+  o.metric = std::move(numerator);
+  o.denominator = std::move(denominator);
+  o.bound = bound;
+  return o;
+}
+
+SloVerdict evaluate_slo(const SloObjective& objective,
+                        const WindowSnapshot& window) {
+  SloVerdict v;
+  v.name = objective.name;
+  v.bound = objective.bound;
+  if (objective.is_ratio()) {
+    const double denom = window.rate(objective.denominator);
+    if (denom <= 0.0) return v;  // nothing flowing => vacuously ok
+    v.observed = window.rate(objective.metric) / denom;
+    v.ok = v.observed <= objective.bound;
+    return v;
+  }
+  const WindowedHistogram wh = window.windowed(objective.metric);
+  if (wh.count == 0) return v;  // idle window => vacuously ok
+  v.observed = pick_percentile(wh, objective.percentile);
+  v.ok = v.observed <= objective.bound;
+  return v;
+}
+
+SloWatchdog::SloWatchdog(std::vector<SloObjective> objectives)
+    : objectives_(std::move(objectives)) {}
+
+void SloWatchdog::add(SloObjective objective) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  objectives_.push_back(std::move(objective));
+}
+
+void SloWatchdog::observe(const WindowSnapshot& window) {
+  if (window.seq == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SloVerdict> verdicts;
+  verdicts.reserve(objectives_.size());
+  bool all_ok = true;
+  for (const SloObjective& objective : objectives_) {
+    SloVerdict v = evaluate_slo(objective, window);
+    if (!v.ok) {
+      all_ok = false;
+      ++breaches_;
+      Registry::global().counter("slo.breaches").add(1);
+      Registry::global().counter("slo." + objective.name + ".breaches").add(1);
+    }
+    verdicts.push_back(std::move(v));
+  }
+  verdicts_ = std::move(verdicts);
+  healthy_ = all_ok;
+}
+
+bool SloWatchdog::healthy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return healthy_;
+}
+
+std::vector<SloVerdict> SloWatchdog::verdicts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return verdicts_;
+}
+
+std::uint64_t SloWatchdog::breaches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return breaches_;
+}
+
+std::vector<SloObjective> SloWatchdog::objectives() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objectives_;
+}
+
+std::string slo_health_json(const SloWatchdog& watchdog) {
+  std::ostringstream os;
+  const std::vector<SloVerdict> verdicts = watchdog.verdicts();
+  os << "{\"healthy\":" << (watchdog.healthy() ? "true" : "false")
+     << ",\"breaches\":" << watchdog.breaches() << ",\"objectives\":[";
+  const std::vector<SloObjective> objectives = watchdog.objectives();
+  for (std::size_t i = 0; i < objectives.size(); ++i) {
+    const SloObjective& o = objectives[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << o.name << "\",\"metric\":\"" << o.metric << "\"";
+    if (o.is_ratio()) {
+      os << ",\"denominator\":\"" << o.denominator << "\"";
+    } else {
+      os << ",\"percentile\":\"" << percentile_name(o.percentile) << "\"";
+    }
+    os << ",\"bound\":" << o.bound;
+    for (const SloVerdict& v : verdicts) {
+      if (v.name != o.name) continue;
+      os << ",\"ok\":" << (v.ok ? "true" : "false")
+         << ",\"observed\":" << v.observed;
+      break;
+    }
+    os << "}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+}  // namespace repflow::obs

@@ -1,0 +1,155 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace repflow::obs {
+
+namespace {
+
+/// Prometheus rate() semantics: a cumulative series that went backwards
+/// restarted, so the delta since the restart is the current value.
+double monotonic_delta(double prev, double cur) {
+  return cur >= prev ? cur - prev : cur;
+}
+
+std::uint64_t monotonic_delta(std::uint64_t prev, std::uint64_t cur) {
+  return cur >= prev ? cur - prev : cur;
+}
+
+}  // namespace
+
+double WindowSnapshot::rate(const std::string& name) const {
+  const auto it = rates.find(name);
+  return it == rates.end() ? 0.0 : it->second;
+}
+
+WindowedHistogram WindowSnapshot::windowed(const std::string& name) const {
+  const auto it = histograms.find(name);
+  return it == histograms.end() ? WindowedHistogram{} : it->second;
+}
+
+WindowSnapshot snapshot_diff(const MetricsSnapshot& prev,
+                             const MetricsSnapshot& cur, double window_ms) {
+  WindowSnapshot w;
+  w.window_ms = window_ms;
+  const double seconds = std::max(window_ms, 1e-9) / 1000.0;
+
+  for (const auto& [name, value] : cur.counters) {
+    const auto it = prev.counters.find(name);
+    const std::uint64_t delta =
+        it == prev.counters.end() ? value : monotonic_delta(it->second, value);
+    w.rates[name] = static_cast<double>(delta) / seconds;
+  }
+  for (const auto& [name, value] : cur.accumulations) {
+    const auto it = prev.accumulations.find(name);
+    const double delta = it == prev.accumulations.end()
+                             ? value
+                             : monotonic_delta(it->second, value);
+    w.rates[name] = delta / seconds;
+  }
+  w.gauges = cur.gauges;
+
+  for (const auto& [name, data] : cur.histograms) {
+    WindowedHistogram wh;
+    const auto it = prev.histograms.find(name);
+    const MetricsSnapshot::HistogramData* before =
+        it == prev.histograms.end() ? nullptr : &it->second;
+    wh.count = before ? monotonic_delta(before->summary.count,
+                                        data.summary.count)
+                      : data.summary.count;
+    wh.sum_ms = before
+                    ? monotonic_delta(before->summary.sum, data.summary.sum)
+                    : data.summary.sum;
+    if (wh.count > 0) {
+      wh.mean_ms = wh.sum_ms / static_cast<double>(wh.count);
+      // Percentiles over only the window's observations: subtract the
+      // bucket counts.  A restarted histogram (count went backwards) keeps
+      // the current buckets wholesale, matching the delta rule above.
+      std::vector<std::uint64_t> delta_counts(data.bucket_counts);
+      if (before && data.summary.count >= before->summary.count &&
+          before->bucket_counts.size() == data.bucket_counts.size()) {
+        for (std::size_t i = 0; i < delta_counts.size(); ++i) {
+          delta_counts[i] -= std::min(before->bucket_counts[i],
+                                      delta_counts[i]);
+        }
+      }
+      constexpr double kInf = std::numeric_limits<double>::infinity();
+      wh.p50_ms = percentile_from_buckets(data.bucket_bounds, delta_counts,
+                                          0.50, 0.0, kInf);
+      wh.p95_ms = percentile_from_buckets(data.bucket_bounds, delta_counts,
+                                          0.95, 0.0, kInf);
+      wh.p99_ms = percentile_from_buckets(data.bucket_bounds, delta_counts,
+                                          0.99, 0.0, kInf);
+    }
+    w.histograms[name] = wh;
+  }
+  return w;
+}
+
+WindowedAggregator::WindowedAggregator(std::size_t retain)
+    : retain_(std::max<std::size_t>(1, retain)) {
+  ring_.reserve(retain_);
+}
+
+WindowSnapshot WindowedAggregator::tick(const MetricsSnapshot& cur,
+                                        double elapsed_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WindowSnapshot w = has_prev_ ? snapshot_diff(prev_, cur, elapsed_ms)
+                               : snapshot_diff(MetricsSnapshot{}, cur,
+                                               elapsed_ms);
+  prev_ = cur;
+  has_prev_ = true;
+  w.seq = ++seq_;
+  // Ring semantics: slot seq % retain is overwritten, so after wraparound
+  // the ring holds exactly the `retain_` newest windows.
+  if (ring_.size() < retain_) {
+    ring_.push_back(w);
+  } else {
+    ring_[static_cast<std::size_t>((w.seq - 1) % retain_)] = w;
+  }
+  return w;
+}
+
+WindowSnapshot WindowedAggregator::tick_global() {
+  const auto now = std::chrono::steady_clock::now();
+  double elapsed_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (has_last_tick_) {
+      elapsed_ms =
+          std::chrono::duration<double, std::milli>(now - last_tick_).count();
+    }
+    last_tick_ = now;
+    has_last_tick_ = true;
+  }
+  return tick(Registry::global().snapshot(), elapsed_ms);
+}
+
+WindowSnapshot WindowedAggregator::latest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (seq_ == 0) return {};
+  return ring_[static_cast<std::size_t>((seq_ - 1) % retain_)];
+}
+
+std::vector<WindowSnapshot> WindowedAggregator::recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WindowSnapshot> out;
+  out.reserve(ring_.size());
+  if (seq_ == 0) return out;
+  const std::uint64_t newest = seq_;
+  const std::uint64_t count =
+      std::min<std::uint64_t>(newest, ring_.size());
+  for (std::uint64_t s = newest - count + 1; s <= newest; ++s) {
+    out.push_back(ring_[static_cast<std::size_t>((s - 1) % retain_)]);
+  }
+  return out;
+}
+
+std::uint64_t WindowedAggregator::windows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+}  // namespace repflow::obs

@@ -15,8 +15,11 @@
 #include <vector>
 
 #include "analysis/check.h"
+#include "core/execution.h"
 #include "core/solve.h"
 #include "core/solver_pool.h"
+#include "obs/flight_recorder.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "parallel/parallel_engine.h"
 #include "support/rng.h"
@@ -249,6 +252,62 @@ TEST(WorkspaceReuse, PooledResultsBitIdenticalToFreshSolversGeneralized) {
       expect_identical(fresh_solve(problems[i], kind), reused, kind, i);
     }
   }
+}
+
+// Exporter-attached variant: the live telemetry tier (flight recorder,
+// per-disk accounting, windowed exporter) must not cost the solve path its
+// zero-allocation guarantee.  The exporter runs with a very long tick
+// interval so its background threads are parked during the counted window;
+// what is measured is the instrumented ExecutionContext path itself —
+// kPolicy/kSolve flight events, the per-disk busy_ms/assigned_buckets fold,
+// and histogram observations — all of which must be pre-warmed handle
+// writes only.
+TEST(WorkspaceReuse, InstrumentedSolvePathAllocatesNothingWithExporter) {
+#if REPFLOW_INVARIANTS_ENABLED
+  GTEST_SKIP() << "REPFLOW_CHECK_INVARIANTS builds run allocation-light (not "
+                  "allocation-free) checkers inside the solve seams";
+#endif
+  Rng rng(7005);
+  std::vector<RetrievalProblem> problems;
+  for (int i = 0; i < 6; ++i) {
+    problems.push_back(random_general_problem(8, 24, rng));
+  }
+
+  obs::HttpExporterOptions eopts;
+  eopts.tick_interval_ms = 3600.0 * 1000.0;  // parked during the window
+  obs::HttpExporter exporter(eopts);
+  const bool serving = exporter.start();  // binding may be sandboxed away
+
+  {
+    core::ExecutionContext ctx;
+    obs::QueryScope scope(obs::FlightRecorder::global().next_query_id());
+    // Warm-up: resolves the per-disk instrument slots, the per-kind metric
+    // bundles, and every workspace buffer; flight-recorder slots are
+    // preallocated at construction.
+    for (const RetrievalProblem& problem : problems) {
+      ctx.solve_into(problem, ctx.scratch());
+    }
+
+    g_alloc_count.store(0);
+    g_alloc_bytes.store(0);
+    g_count_allocs.store(true);
+    for (const RetrievalProblem& problem : problems) {
+      ctx.solve_into(problem, ctx.scratch());
+    }
+    g_count_allocs.store(false);
+
+    EXPECT_EQ(g_alloc_count.load(), 0u)
+        << g_alloc_count.load() << " steady-state allocations ("
+        << g_alloc_bytes.load() << " bytes) with the exporter attached";
+    EXPECT_GT(ctx.scratch().response_time_ms, 0.0);
+  }
+#if !defined(REPFLOW_OBS_DISABLED)
+  // The instrumentation genuinely ran: the fold touched the disk series.
+  EXPECT_GT(obs::Registry::global().snapshot().accumulations.count(
+                "disk.0.busy_ms"),
+            0u);
+#endif
+  if (serving) exporter.stop();
 }
 
 // Telemetry is compiled out under the obs kill switch; the reuse behaviour

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text-format (0.0.4) output from the telemetry tier.
+
+Reads an exposition payload (a file, or stdin with ``-``) as produced by the
+HTTP exporter's ``/metrics`` endpoint or ``metrics_tool --prom`` and checks:
+
+  * every non-comment line parses as ``name{labels} value``;
+  * metric and label names match the Prometheus grammar;
+  * every sample's family is declared by a ``# TYPE`` line first;
+  * counter families end in ``_total``;
+  * histogram families expose ``_bucket`` (cumulative, ending in
+    ``le="+Inf"``), ``_sum``, and ``_count``, with the +Inf bucket equal to
+    ``_count``;
+  * values parse as floats (``+Inf``/``-Inf``/``NaN`` allowed).
+
+``--require NAME`` (repeatable) additionally asserts that a sample of that
+family is present — CI uses this to prove the live scrape carries the
+windowed router rates and per-disk utilization series.
+
+Exit status: 0 = valid, 1 = malformed or missing required series.
+Zero dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?$"
+)
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def family_of(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="exposition file, or '-' for stdin")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless a sample of this family (or exact series, when "
+        "given as name{label=\"v\"}) is present; repeatable",
+    )
+    args = parser.parse_args()
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"check_prom: cannot read {args.path}: {exc}",
+                  file=sys.stderr)
+            return 1
+
+    errors: list[str] = []
+    declared_types: dict[str, str] = {}
+    samples: list[tuple[str, dict, float]] = []
+    raw_series: set[str] = set()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip("\r")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errors.append(f"line {lineno}: malformed TYPE comment")
+                    continue
+                _, _, fam, typ = parts
+                if not METRIC_RE.match(fam):
+                    errors.append(f"line {lineno}: bad family name '{fam}'")
+                if typ not in VALID_TYPES:
+                    errors.append(f"line {lineno}: unknown type '{typ}'")
+                if fam in declared_types:
+                    errors.append(
+                        f"line {lineno}: family '{fam}' TYPE redeclared")
+                declared_types[fam] = typ
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        labels: dict = {}
+        label_text = match.group("labels")
+        if label_text:
+            consumed = 0
+            for pair in LABEL_PAIR_RE.finditer(label_text):
+                key, value = pair.group(1), pair.group(2)
+                if not LABEL_RE.match(key):
+                    errors.append(f"line {lineno}: bad label name '{key}'")
+                labels[key] = value
+                consumed += pair.end() - pair.start()
+            stripped = re.sub(r"[,\s]", "", label_text)
+            pairs_len = sum(
+                len(re.sub(r"[,\s]", "", p.group(0)))
+                for p in LABEL_PAIR_RE.finditer(label_text)
+            )
+            if pairs_len != len(stripped):
+                errors.append(
+                    f"line {lineno}: malformed label set '{{{label_text}}}'")
+        try:
+            value = parse_value(match.group("value"))
+        except ValueError:
+            errors.append(
+                f"line {lineno}: bad value {match.group('value')!r}")
+            continue
+        fam = family_of(name)
+        if fam not in declared_types and name not in declared_types:
+            errors.append(
+                f"line {lineno}: sample '{name}' before its TYPE declaration")
+        samples.append((name, labels, value))
+        raw_series.add(line.split()[0])
+
+    # Family-level checks.
+    by_family: dict[str, list[tuple[str, dict, float]]] = {}
+    for name, labels, value in samples:
+        by_family.setdefault(family_of(name), []).append(
+            (name, labels, value))
+
+    for fam, typ in declared_types.items():
+        rows = by_family.get(fam, [])
+        if typ == "counter":
+            if not fam.endswith("_total"):
+                errors.append(f"counter family '{fam}' must end in _total")
+            for name, _, value in rows:
+                if not math.isnan(value) and value < 0:
+                    errors.append(f"counter '{name}' is negative ({value})")
+        elif typ == "histogram":
+            buckets = [(l, v) for n, l, v in rows if n == fam + "_bucket"]
+            counts = [v for n, _, v in rows if n == fam + "_count"]
+            if not buckets:
+                errors.append(f"histogram '{fam}' has no _bucket samples")
+                continue
+            if not counts:
+                errors.append(f"histogram '{fam}' has no _count sample")
+            les = []
+            for labels, value in buckets:
+                if "le" not in labels:
+                    errors.append(f"histogram '{fam}' bucket missing le=")
+                    continue
+                les.append((parse_value(labels["le"]), value))
+            prev = -math.inf
+            prev_count = -1.0
+            for le, value in les:
+                if le < prev:
+                    errors.append(f"histogram '{fam}' le bounds not sorted")
+                if value < prev_count:
+                    errors.append(
+                        f"histogram '{fam}' bucket counts not cumulative")
+                prev, prev_count = le, value
+            if les and not math.isinf(les[-1][0]):
+                errors.append(f"histogram '{fam}' missing le=\"+Inf\" bucket")
+            if les and counts and les[-1][1] != counts[0]:
+                errors.append(
+                    f"histogram '{fam}': +Inf bucket {les[-1][1]} != _count "
+                    f"{counts[0]}")
+
+    families_seen = set(by_family)
+    for required in args.require:
+        if "{" in required:
+            if required not in raw_series:
+                errors.append(f"required series '{required}' not found")
+        elif required not in families_seen:
+            errors.append(f"required family '{required}' not found")
+
+    if errors:
+        for err in errors:
+            print(f"check_prom: {err}", file=sys.stderr)
+        print(
+            f"check_prom: FAIL ({len(errors)} problem(s), "
+            f"{len(samples)} samples, {len(declared_types)} families)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"check_prom: OK — {len(samples)} samples across "
+        f"{len(declared_types)} families"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
