@@ -62,10 +62,11 @@ SweepConfig parse_sweep(int argc, const char* const* argv,
 
 double time_solve_ms(const core::RetrievalProblem& problem,
                      core::SolverKind kind, int threads,
-                     double* response_ms, core::SolveResult* result_out) {
+                     double* response_ms, core::SolveResult* result_out,
+                     core::EngineKind engine) {
   StopWatch sw;
   sw.start();
-  core::SolveResult result = core::solve(problem, kind, threads);
+  core::SolveResult result = core::solve(problem, kind, threads, engine);
   sw.stop();
   if (response_ms) *response_ms = result.response_time_ms;
   if (result_out) *result_out = std::move(result);

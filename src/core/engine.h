@@ -1,15 +1,53 @@
 // The integrated max-flow engine interface consumed by the binary-scaling
 // driver (Algorithm 6).  The sequential implementation wraps the FIFO
-// push-relabel of src/graph; the parallel implementation (src/parallel)
-// substitutes the lock-free multithreaded engine of Section V.
+// push-relabel of src/graph; the parallel implementations (src/parallel)
+// substitute the multithreaded engines of Section V.
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string_view>
 
 #include "graph/maxflow.h"
 #include "graph/push_relabel.h"
 
 namespace repflow::core {
+
+/// Which multithreaded engine backs kParallelPushRelabelBinary.  The seam
+/// mirrors SolverKind one level down: callers pin an engine the same way
+/// they pin a solver, and kAuto defers to the measured `engine.<id>.solve_ms`
+/// histograms (see resolve_engine_kind in solver_pool.h).
+enum class EngineKind {
+  kHongHe,  ///< asynchronous lock-free push-relabel (Hong & He 2011)
+  kRound,   ///< bulk-synchronous round-based push-relabel (WHFC-style)
+  kAuto,    ///< histogram-driven choice between the two
+};
+
+/// Every concrete engine, in declaration order (kAuto is a selection policy,
+/// not an engine, so it is deliberately absent).
+inline constexpr EngineKind kAllEngineKinds[] = {EngineKind::kHongHe,
+                                                 EngineKind::kRound};
+
+/// Short stable identifier (metric names, CLI flags, bench labels).
+constexpr const char* engine_id(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kHongHe:
+      return "hong_he";
+    case EngineKind::kRound:
+      return "round";
+    case EngineKind::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+/// Inverse of engine_id() for CLI parsing; nullopt for unknown ids.
+constexpr std::optional<EngineKind> engine_kind_from_id(std::string_view id) {
+  if (id == "hong_he") return EngineKind::kHongHe;
+  if (id == "round") return EngineKind::kRound;
+  if (id == "auto") return EngineKind::kAuto;
+  return std::nullopt;
+}
 
 class IntegratedEngine {
  public:

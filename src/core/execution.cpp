@@ -69,11 +69,14 @@ SolverKind select_by_degree(const RetrievalProblem& problem,
 }
 
 ExecutionContext::ExecutionContext(ExecutionPolicy policy)
-    : policy_(policy), pool_(policy.threads) {}
+    : policy_(policy), pool_(policy.threads) {
+  pool_.set_engine_kind(policy.engine);
+}
 
 void ExecutionContext::set_policy(const ExecutionPolicy& policy) {
   policy_ = policy;
   pool_.set_threads(policy.threads);  // no-op unless the count changed
+  pool_.set_engine_kind(policy.engine);
 }
 
 SolverKind ExecutionContext::select(const RetrievalProblem& problem) {

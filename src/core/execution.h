@@ -47,6 +47,11 @@ struct ExecutionPolicy {
   /// Worker count for kParallelPushRelabelBinary (ignored by the
   /// sequential kinds; must be >= 1).
   int threads = 2;
+  /// Which parallel engine kParallelPushRelabelBinary runs (ignored by the
+  /// sequential kinds).  kAuto re-resolves per solve against the
+  /// `engine.<id>.solve_ms` histograms (see core::resolve_engine_kind);
+  /// pinning kHongHe or kRound skips resolution.
+  EngineKind engine = EngineKind::kAuto;
 
   static ExecutionPolicy pinned(SolverKind kind, int threads = 2) {
     ExecutionPolicy p;
@@ -118,8 +123,9 @@ class ExecutionContext {
   IncrementalQuerySession open_session(workload::SystemConfig system);
 
   const ExecutionPolicy& policy() const { return policy_; }
-  /// Swap the policy; the pool's parallel slot is rebuilt only when the
-  /// thread count actually changed.
+  /// Swap the policy; the pool's parallel slots are rebuilt only when the
+  /// thread count actually changed (engine-kind flips reuse the other warm
+  /// slot).
   void set_policy(const ExecutionPolicy& policy);
 
   SolverPool& pool() { return pool_; }

@@ -14,10 +14,15 @@ SolverKind choose_solver(const RetrievalProblem& problem) {
   return select_by_degree(problem, 16.0);
 }
 
+EngineKind choose_engine(EngineKind requested) {
+  return resolve_engine_kind(requested);
+}
+
 SolveResult solve(const RetrievalProblem& problem, SolverKind kind,
-                  int threads) {
+                  int threads, EngineKind engine) {
   ExecutionContext& context = thread_execution_context();
   context.pool().set_threads(threads);
+  context.pool().set_engine_kind(engine);
   SolveResult result;
   context.solve_into(problem, kind, result);
   return result;

@@ -21,12 +21,17 @@ namespace repflow::core {
 struct SolveOptions {
   std::optional<SolverKind> kind;
   int threads = 2;
+  /// Parallel engine for kParallelPushRelabelBinary (ignored otherwise).
+  /// kAuto picks per solve off the `engine.<id>.solve_ms` histograms.
+  EngineKind engine = EngineKind::kAuto;
 
   /// The ExecutionPolicy these options denote: pinned when `kind` is set,
   /// the default fixed-threshold adaptive policy otherwise.
   ExecutionPolicy policy() const {
-    return kind ? ExecutionPolicy::pinned(*kind, threads)
-                : ExecutionPolicy::adaptive(16.0, threads);
+    ExecutionPolicy p = kind ? ExecutionPolicy::pinned(*kind, threads)
+                             : ExecutionPolicy::adaptive(16.0, threads);
+    p.engine = engine;
+    return p;
   }
 };
 
@@ -40,10 +45,17 @@ struct SolveOptions {
 /// Equivalent to select_by_degree(problem, 16.0).
 SolverKind choose_solver(const RetrievalProblem& problem);
 
-/// Solve `problem` with the chosen algorithm.  `threads` only matters for
-/// kParallelPushRelabelBinary (ignored otherwise, must be >= 1).
+/// The adaptive engine choice behind EngineKind::kAuto: resolve `requested`
+/// to a concrete parallel engine off the `engine.<id>.solve_ms` latency
+/// histograms (lower observed mean wins once both engines are warmed up;
+/// kRound until then).  Equivalent to resolve_engine_kind(requested).
+EngineKind choose_engine(EngineKind requested = EngineKind::kAuto);
+
+/// Solve `problem` with the chosen algorithm.  `threads` and `engine` only
+/// matter for kParallelPushRelabelBinary (ignored otherwise; threads must
+/// be >= 1).
 SolveResult solve(const RetrievalProblem& problem, SolverKind kind,
-                  int threads = 2);
+                  int threads = 2, EngineKind engine = EngineKind::kAuto);
 
 /// Options form: `solve(p, {})` runs the adaptive policy.
 SolveResult solve(const RetrievalProblem& problem,

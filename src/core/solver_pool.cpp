@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "parallel/parallel_engine.h"
+#include "support/timing.h"
 
 namespace repflow::core {
 
@@ -26,6 +27,24 @@ PoolMetrics& pool_metrics() {
   return metrics;
 }
 
+// Per-engine observability for the parallel kind: the solve-latency
+// histogram doubles as the kAuto decision input (resolve_engine_kind), so
+// running either engine automatically trains the selector.
+struct EngineMetrics {
+  obs::Histogram& solve_ms;
+  obs::Counter& solves;
+};
+
+EngineMetrics& engine_metrics(EngineKind kind) {
+  static EngineMetrics hong_he{
+      obs::Registry::global().histogram("engine.hong_he.solve_ms"),
+      obs::Registry::global().counter("engine.hong_he.solves")};
+  static EngineMetrics round{
+      obs::Registry::global().histogram("engine.round.solve_ms"),
+      obs::Registry::global().counter("engine.round.solves")};
+  return kind == EngineKind::kRound ? round : hong_he;
+}
+
 // Slot accessor: construct on first use (a rebuild), reuse afterwards.
 template <typename T, typename... Args>
 T& slot(std::unique_ptr<T>& shell, Args&&... args) {
@@ -39,6 +58,20 @@ T& slot(std::unique_ptr<T>& shell, Args&&... args) {
 }
 
 }  // namespace
+
+EngineKind resolve_engine_kind(EngineKind requested,
+                               std::uint64_t min_samples) {
+  if (requested != EngineKind::kAuto) return requested;
+  const obs::HistogramSummary hong_he =
+      engine_metrics(EngineKind::kHongHe).solve_ms.summary();
+  const obs::HistogramSummary round =
+      engine_metrics(EngineKind::kRound).solve_ms.summary();
+  if (hong_he.count >= min_samples && round.count >= min_samples) {
+    return hong_he.mean < round.mean ? EngineKind::kHongHe
+                                     : EngineKind::kRound;
+  }
+  return EngineKind::kRound;
+}
 
 SolverPool::SolverPool(int threads) : threads_(threads) {
   if (threads < 1) {
@@ -54,7 +87,9 @@ void SolverPool::set_threads(int threads) {
   }
   if (threads == threads_) return;
   threads_ = threads;
-  parallel_.reset();  // rebuilt with the new worker count on next use
+  // Rebuilt with the new worker count on next use.
+  parallel_hong_he_.reset();
+  parallel_round_.reset();
 }
 
 void SolverPool::solve_into(const RetrievalProblem& problem, SolverKind kind,
@@ -75,19 +110,29 @@ void SolverPool::solve_into(const RetrievalProblem& problem, SolverKind kind,
     case SolverKind::kBlackBoxBinary:
       slot(black_box_).solve_into(problem, result);
       break;
-    case SolverKind::kParallelPushRelabelBinary:
+    case SolverKind::kParallelPushRelabelBinary: {
+      const EngineKind engine = resolve_engine_kind(engine_kind_);
+      std::unique_ptr<PushRelabelBinarySolver>& shell =
+          engine == EngineKind::kRound ? parallel_round_ : parallel_hong_he_;
       // Not slot(): the factory argument must only be built when the slot
       // is actually constructed, or every reuse hit would re-create a
       // std::function.
-      if (parallel_) {
+      if (shell) {
         pool_metrics().reuse_hits.add(1);
       } else {
         pool_metrics().rebuilds.add(1);
-        parallel_ = std::make_unique<PushRelabelBinarySolver>(
-            parallel::parallel_engine_factory(threads_));
+        shell = std::make_unique<PushRelabelBinarySolver>(
+            parallel::parallel_engine_factory(threads_, engine));
       }
-      parallel_->solve_into(problem, result);
+      EngineMetrics& metrics = engine_metrics(engine);
+      StopWatch watch;
+      watch.start();
+      shell->solve_into(problem, result);
+      watch.stop();
+      metrics.solve_ms.observe(watch.elapsed_ms());
+      metrics.solves.add(1);
       break;
+    }
     case SolverKind::kIntegratedMatching:
       slot(matching_).solve_into(problem, result);
       break;
@@ -109,7 +154,8 @@ std::size_t SolverPool::retained_bytes() const {
   if (pr_incremental_) total += pr_incremental_->retained_bytes();
   if (pr_binary_) total += pr_binary_->retained_bytes();
   if (black_box_) total += black_box_->retained_bytes();
-  if (parallel_) total += parallel_->retained_bytes();
+  if (parallel_hong_he_) total += parallel_hong_he_->retained_bytes();
+  if (parallel_round_) total += parallel_round_->retained_bytes();
   if (matching_) total += matching_->retained_bytes();
   return total;
 }

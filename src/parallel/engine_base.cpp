@@ -1,0 +1,230 @@
+#include "parallel/engine_base.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repflow::parallel {
+
+using graph::ArcId;
+using graph::Cap;
+using graph::Vertex;
+
+ParallelEngineBase::ParallelEngineBase(graph::FlowNetwork& net, Vertex source,
+                                       Vertex sink, int threads)
+    : net_(net),
+      source_(source),
+      sink_(sink),
+      threads_(threads),
+      pool_(threads) {
+  if (threads < 1) {
+    throw std::invalid_argument("ParallelEngineBase: threads < 1");
+  }
+  bind(source, sink);
+}
+
+ParallelEngineBase::~ParallelEngineBase() {
+  graph::publish_flow_stats(stats_);
+}
+
+void ParallelEngineBase::bind(Vertex source, Vertex sink) {
+  if (source < 0 || source >= net_.num_vertices() || sink < 0 ||
+      sink >= net_.num_vertices() || source == sink) {
+    throw std::invalid_argument("ParallelEngineBase: bad source/sink");
+  }
+  source_ = source;
+  sink_ = sink;
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  const auto m = static_cast<std::size_t>(net_.num_arcs());
+  adj_offset_.resize(n + 1);
+  adj_arcs_.clear();
+  adj_arcs_.reserve(m);
+  for (std::size_t v = 0; v < n; ++v) {
+    adj_offset_[v] = static_cast<std::int32_t>(adj_arcs_.size());
+    for (ArcId a : net_.out_arcs(static_cast<Vertex>(v))) {
+      adj_arcs_.push_back(a);
+    }
+  }
+  adj_offset_[n] = static_cast<std::int32_t>(adj_arcs_.size());
+  arc_head_.resize(m);
+  for (ArcId a = 0; a < static_cast<ArcId>(m); ++a) {
+    arc_head_[a] = net_.head(a);
+  }
+  cap_.resize(m);
+  ensure_atomic_size(flow_, m);
+  ensure_atomic_size(excess_, n);
+  bfs_height_.resize(n);
+  bfs_queue_.reserve(n);
+  drain_visit_pos_.resize(n);
+  drain_walk_.reserve(n);
+}
+
+void ParallelEngineBase::copy_in() {
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  const auto m = static_cast<std::size_t>(net_.num_arcs());
+  for (std::size_t a = 0; a < m; ++a) {
+    cap_[a] = net_.capacity(static_cast<ArcId>(a));
+    flow_[a].store(net_.flow(static_cast<ArcId>(a)),
+                   std::memory_order_relaxed);
+  }
+  // Excess is implied by the conserved flows: inflow minus outflow.
+  for (std::size_t v = 0; v < n; ++v) {
+    excess_[v].store(-net_.net_out_flow(static_cast<Vertex>(v)),
+                     std::memory_order_relaxed);
+  }
+  excess_[source_].store(0, std::memory_order_relaxed);
+}
+
+void ParallelEngineBase::copy_out() {
+  for (ArcId a = 0; a < net_.num_arcs(); a += 2) {
+    net_.set_pair_flow(a, flow_[a].load(std::memory_order_relaxed));
+  }
+}
+
+void ParallelEngineBase::saturate_source_arcs() {
+  for (std::int32_t i = adj_offset_[source_]; i < adj_offset_[source_ + 1];
+       ++i) {
+    const ArcId a = adj_arcs_[i];
+    const Cap delta = cap_[a] - flow_[a].load(std::memory_order_relaxed);
+    if (delta <= 0) continue;
+    flow_[a].fetch_add(delta, std::memory_order_relaxed);
+    flow_[a ^ 1].fetch_sub(delta, std::memory_order_relaxed);
+    excess_[arc_head_[a]].fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
+void ParallelEngineBase::reverse_bfs_heights(std::vector<std::int32_t>& h,
+                                             bool source_side) {
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  constexpr std::int32_t kUnset = -1;
+  std::fill(h.begin(), h.begin() + static_cast<std::ptrdiff_t>(n), kUnset);
+  std::vector<Vertex>& queue = bfs_queue_;
+  auto residual = [&](ArcId a) {
+    return cap_[a] - flow_[a].load(std::memory_order_relaxed);
+  };
+  auto backward_bfs = [&](Vertex root, std::int32_t base) {
+    h[root] = base;
+    queue.clear();
+    queue.push_back(root);
+    std::size_t qi = 0;
+    while (qi < queue.size()) {
+      const Vertex v = queue[qi++];
+      for (std::int32_t i = adj_offset_[v]; i < adj_offset_[v + 1]; ++i) {
+        const ArcId a = adj_arcs_[i];
+        const Vertex w = arc_head_[a];
+        if (h[w] != kUnset || residual(a ^ 1) <= 0) continue;
+        h[w] = h[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  };
+  backward_bfs(sink_, 0);
+  const auto hs = static_cast<std::int32_t>(n);
+  if (source_side) {
+    if (h[source_] == kUnset) h[source_] = hs;
+    backward_bfs(source_, hs);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (h[v] == kUnset) h[v] = static_cast<std::int32_t>(2 * n);
+    }
+  } else {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (h[v] == kUnset) h[v] = hs;
+    }
+  }
+  h[source_] = hs;
+}
+
+void ParallelEngineBase::drain_stranded_excess() {
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  std::vector<std::int32_t>& visit_pos = drain_visit_pos_;
+  std::fill(visit_pos.begin(),
+            visit_pos.begin() + static_cast<std::ptrdiff_t>(n), -1);
+  // Finds the in-arc (u -> cur) carrying flow: stored as reverse slot b^1
+  // of cur's out-slot b.
+  auto inflow_arc = [&](Vertex cur) -> ArcId {
+    for (std::int32_t i = adj_offset_[cur]; i < adj_offset_[cur + 1]; ++i) {
+      const ArcId b = adj_arcs_[i];
+      if (flow_[b ^ 1].load(std::memory_order_relaxed) > 0) return b ^ 1;
+    }
+    return graph::kInvalidArc;
+  };
+  for (Vertex v = 0; v < net_.num_vertices(); ++v) {
+    if (v == source_ || v == sink_) continue;
+    while (excess_[v].load(std::memory_order_relaxed) > 0) {
+      // Walk backward from v; walk[i] is the flow-carrying arc entering the
+      // vertex at depth i.
+      std::vector<ArcId>& walk = drain_walk_;
+      walk.clear();
+      std::fill(visit_pos.begin(), visit_pos.end(), -1);
+      visit_pos[v] = 0;
+      Vertex cur = v;
+      bool reached_source = false;
+      while (!reached_source) {
+        const ArcId in = inflow_arc(cur);
+        if (in == graph::kInvalidArc) {
+          // Impossible for a vertex with surplus inflow; guard anyway.
+          excess_[v].store(0, std::memory_order_relaxed);
+          break;
+        }
+        const Vertex prev = arc_head_[in ^ 1];  // tail of (prev -> cur)
+        if (prev == source_) {
+          walk.push_back(in);
+          reached_source = true;
+          break;
+        }
+        if (visit_pos[prev] >= 0) {
+          // Cancel the flow cycle prev -> ... -> cur -> prev.
+          Cap cycle_min = flow_[in].load(std::memory_order_relaxed);
+          for (std::size_t k = static_cast<std::size_t>(visit_pos[prev]);
+               k < walk.size(); ++k) {
+            cycle_min = std::min(
+                cycle_min, flow_[walk[k]].load(std::memory_order_relaxed));
+          }
+          flow_[in].fetch_sub(cycle_min, std::memory_order_relaxed);
+          flow_[in ^ 1].fetch_add(cycle_min, std::memory_order_relaxed);
+          for (std::size_t k = static_cast<std::size_t>(visit_pos[prev]);
+               k < walk.size(); ++k) {
+            flow_[walk[k]].fetch_sub(cycle_min, std::memory_order_relaxed);
+            flow_[walk[k] ^ 1].fetch_add(cycle_min,
+                                         std::memory_order_relaxed);
+          }
+          // Rewind the walk to prev, unmarking the tails of popped arcs.
+          while (walk.size() > static_cast<std::size_t>(visit_pos[prev])) {
+            visit_pos[arc_head_[walk.back() ^ 1]] = -1;
+            walk.pop_back();
+          }
+          // visit_pos bookkeeping: prev keeps its position; resume there.
+          cur = prev;
+          continue;
+        }
+        walk.push_back(in);
+        visit_pos[prev] = static_cast<std::int32_t>(walk.size());
+        cur = prev;
+      }
+      if (!reached_source) continue;
+      Cap delta = excess_[v].load(std::memory_order_relaxed);
+      for (ArcId a : walk) {
+        delta = std::min(delta, flow_[a].load(std::memory_order_relaxed));
+      }
+      for (ArcId a : walk) {
+        flow_[a].fetch_sub(delta, std::memory_order_relaxed);
+        flow_[a ^ 1].fetch_add(delta, std::memory_order_relaxed);
+      }
+      excess_[v].fetch_sub(delta, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t ParallelEngineBase::retained_bytes_base() const {
+  return adj_offset_.capacity() * sizeof(std::int32_t) +
+         adj_arcs_.capacity() * sizeof(ArcId) +
+         arc_head_.capacity() * sizeof(Vertex) +
+         cap_.capacity() * sizeof(Cap) +
+         flow_.size() * sizeof(std::atomic<Cap>) +
+         excess_.size() * sizeof(std::atomic<Cap>) +
+         bfs_height_.capacity() * sizeof(std::int32_t) +
+         bfs_queue_.capacity() * sizeof(Vertex) +
+         drain_visit_pos_.capacity() * sizeof(std::int32_t) +
+         drain_walk_.capacity() * sizeof(ArcId);
+}
+
+}  // namespace repflow::parallel

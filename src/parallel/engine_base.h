@@ -1,0 +1,114 @@
+// Shared substrate of the multithreaded max-flow engines.
+//
+// Both parallel engines — the asynchronous Hong & He lock-free engine and
+// the bulk-synchronous round engine — need the same foundation: a CSR
+// capture of the FlowNetwork topology, atomic per-arc flow and per-vertex
+// excess arrays, a persistent worker pool, the integrated-resume prologue
+// (copy flows in, saturate residual source arcs) and epilogue (drain
+// stranded excess back to the source, copy flows out), and FlowStats
+// accounting.  ParallelEngineBase owns all of it once; the derived engines
+// add only their scheduling discipline (async vertex queue vs. synchronous
+// rounds) and their label state.
+//
+// All arrays are grow-only: std::atomic is neither copyable nor movable, so
+// a vector of atomics cannot resize in place — bind() replaces them only
+// when the network outgrows the retained capacity, and every loop bounds
+// itself by the live network sizes, not the array sizes.  Rebinding to a
+// same-footprint problem therefore performs zero heap allocations and the
+// worker pool persists across queries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "graph/maxflow.h"
+#include "parallel/worker_pool.h"
+
+namespace repflow::parallel {
+
+/// Grow-only replacement for a vector of atomics (not resizable in place);
+/// fresh slots are value-initialized to zero, and callers re-initialize the
+/// live prefix on every run anyway.
+template <typename T>
+void ensure_atomic_size(std::vector<std::atomic<T>>& v, std::size_t n) {
+  if (v.size() < n) v = std::vector<std::atomic<T>>(n);
+}
+
+class ParallelEngineBase {
+ public:
+  ParallelEngineBase(const ParallelEngineBase&) = delete;
+  ParallelEngineBase& operator=(const ParallelEngineBase&) = delete;
+
+  const graph::FlowStats& stats() const { return stats_; }
+  int threads() const { return threads_; }
+
+ protected:
+  ParallelEngineBase(graph::FlowNetwork& net, graph::Vertex source,
+                     graph::Vertex sink, int threads);
+  /// Folds the engine's cumulative FlowStats into the obs registry.
+  ~ParallelEngineBase();
+
+  /// Validate the endpoints and recapture the network topology in place
+  /// (CSR arrays + capacities + atomic flow/excess arrays).
+  void bind(graph::Vertex source, graph::Vertex sink);
+
+  /// Load capacities, flows, and the implied excess (inflow minus outflow)
+  /// from the network.  Single-threaded prologue; relaxed stores.
+  void copy_in();
+
+  /// Write the engine's flows back onto the network, pairwise.
+  void copy_out();
+
+  /// Saturate every residual source arc, crediting the heads' excess
+  /// (Algorithm 5 lines 4-10).  Single-threaded prologue.
+  void saturate_source_arcs();
+
+  /// Sequential backward BFS heights into `h` (size >= num_vertices):
+  /// distance-to-sink from the sink; unreached vertices get n.  When
+  /// `source_side` is set, a second BFS from the source at base n assigns
+  /// source-side heights (unreached then 2n) — the Hong & He engine climbs
+  /// excess back toward the source through those levels, while the round
+  /// engine strands it at n and lets drain_stranded_excess() return it.
+  /// In both cases h[source] = n on return.  Must run quiesced.
+  void reverse_bfs_heights(std::vector<std::int32_t>& h, bool source_side);
+
+  /// Single-threaded epilogue (workers quiesced): return the excess of
+  /// stranded vertices to the source by walking positive-flow arcs
+  /// backward, canceling flow cycles encountered on the way.  Equivalent
+  /// to phase two of the classic push-relabel algorithm, but without any
+  /// relabeling.
+  void drain_stranded_excess();
+
+  /// Retained footprint of the substrate-owned buffers (derived engines
+  /// add their own label/scheduling state on top).
+  std::size_t retained_bytes_base() const;
+
+  graph::FlowNetwork& net_;
+  graph::Vertex source_;
+  graph::Vertex sink_;
+  int threads_;
+  graph::FlowStats stats_;
+
+  // Flattened topology (CSR) captured at construction / bind().
+  std::vector<std::int32_t> adj_offset_;
+  std::vector<graph::ArcId> adj_arcs_;
+  std::vector<graph::Vertex> arc_head_;
+
+  // Shared mutable state (see header comment for the grow-only contract).
+  std::vector<graph::Cap> cap_;
+  std::vector<std::atomic<graph::Cap>> flow_;
+  std::vector<std::atomic<graph::Cap>> excess_;
+
+  // Single-threaded scratch for reverse_bfs_heights / drain, kept across
+  // runs so the steady-state path allocates nothing.
+  std::vector<std::int32_t> bfs_height_;
+  std::vector<graph::Vertex> bfs_queue_;
+  std::vector<std::int32_t> drain_visit_pos_;
+  std::vector<graph::ArcId> drain_walk_;
+
+  // Persistent worker pool (spawns only when threads_ > 1).
+  WorkerPool pool_;
+};
+
+}  // namespace repflow::parallel

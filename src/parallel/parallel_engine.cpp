@@ -5,14 +5,33 @@
 namespace repflow::parallel {
 
 core::EngineFactory parallel_engine_factory(int threads) {
+  return parallel_engine_factory(threads, core::EngineKind::kHongHe);
+}
+
+core::EngineFactory parallel_engine_factory(int threads,
+                                            core::EngineKind kind) {
   if (threads < 1) {
     throw std::invalid_argument("parallel_engine_factory: threads < 1");
   }
-  return [threads](graph::FlowNetwork& net, graph::Vertex source,
-                   graph::Vertex sink)
-             -> std::unique_ptr<core::IntegratedEngine> {
-    return std::make_unique<ParallelEngine>(net, source, sink, threads);
-  };
+  switch (kind) {
+    case core::EngineKind::kHongHe:
+      return [threads](graph::FlowNetwork& net, graph::Vertex source,
+                       graph::Vertex sink)
+                 -> std::unique_ptr<core::IntegratedEngine> {
+        return std::make_unique<ParallelEngine>(net, source, sink, threads);
+      };
+    case core::EngineKind::kRound:
+      return [threads](graph::FlowNetwork& net, graph::Vertex source,
+                       graph::Vertex sink)
+                 -> std::unique_ptr<core::IntegratedEngine> {
+        return std::make_unique<RoundEngine>(net, source, sink, threads);
+      };
+    case core::EngineKind::kAuto:
+      break;
+  }
+  throw std::invalid_argument(
+      "parallel_engine_factory: kAuto must be resolved to a concrete "
+      "engine before building a factory");
 }
 
 }  // namespace repflow::parallel

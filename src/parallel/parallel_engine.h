@@ -1,6 +1,10 @@
-// Adapter exposing ParallelPushRelabel through the IntegratedEngine
-// interface, so Algorithm 6's driver runs unchanged with the multithreaded
+// Adapters exposing the multithreaded engines through the IntegratedEngine
+// interface, so Algorithm 6's driver runs unchanged with either parallel
 // engine (the paper's Section V modifies only line 29).
+//
+// Two engines sit behind the same seam (core::EngineKind):
+//   * kHongHe — asynchronous lock-free push-relabel (ParallelPushRelabel)
+//   * kRound  — bulk-synchronous round-based push-relabel (RoundPushRelabel)
 #pragma once
 
 #include <memory>
@@ -8,13 +12,18 @@
 #include "core/engine.h"
 #include "core/push_relabel_binary.h"
 #include "parallel/parallel_push_relabel.h"
+#include "parallel/round_push_relabel.h"
 
 namespace repflow::parallel {
 
-class ParallelEngine final : public core::IntegratedEngine {
+/// Wraps a concrete parallel solver (ParallelPushRelabel or
+/// RoundPushRelabel) as an IntegratedEngine.  The solver must expose
+/// resume / reset_excess_after_restore / rebind / stats / retained_bytes.
+template <typename Solver>
+class ParallelEngineAdapter final : public core::IntegratedEngine {
  public:
-  ParallelEngine(graph::FlowNetwork& net, graph::Vertex source,
-                 graph::Vertex sink, int threads)
+  ParallelEngineAdapter(graph::FlowNetwork& net, graph::Vertex source,
+                        graph::Vertex sink, int threads)
       : solver_(net, source, sink, threads) {}
 
   graph::Cap resume() override { return solver_.resume(); }
@@ -29,11 +38,23 @@ class ParallelEngine final : public core::IntegratedEngine {
     return solver_.retained_bytes();
   }
 
+  Solver& solver() { return solver_; }
+
  private:
-  ParallelPushRelabel solver_;
+  Solver solver_;
 };
 
-/// Engine factory for PushRelabelBinarySolver running `threads` workers.
+using ParallelEngine = ParallelEngineAdapter<ParallelPushRelabel>;
+using RoundEngine = ParallelEngineAdapter<RoundPushRelabel>;
+
+/// Engine factory for PushRelabelBinarySolver running `threads` workers of
+/// the Hong & He asynchronous engine (historic default).
 core::EngineFactory parallel_engine_factory(int threads);
+
+/// Engine factory for a specific engine kind.  `kind` must be a concrete
+/// engine (kHongHe or kRound) — resolving kAuto against observed latency
+/// histograms is the solver pool's job, before this factory is called.
+core::EngineFactory parallel_engine_factory(int threads,
+                                            core::EngineKind kind);
 
 }  // namespace repflow::parallel

@@ -29,10 +29,10 @@
 //
 //   * relaxed is confined to (a) single-threaded phases — copy_in/copy_out,
 //     exact_heights, and the resume() prologue/epilogue run while every
-//     worker is parked or joined, with the pool mutex + condition variable
-//     handoff providing the happens-before into and out of the run — and
-//     (b) pure statistics (relabels_since_gr_), where a lost update only
-//     nudges the relabel cadence.
+//     worker is parked or joined, with the worker pool's mutex + condition
+//     variable handoff providing the happens-before into and out of the
+//     run — and (b) pure statistics (relabels_since_gr_), where a lost
+//     update only nudges the relabel cadence.
 namespace repflow::parallel {
 
 using graph::ArcId;
@@ -43,14 +43,6 @@ namespace {
 // Index of the current worker thread; routes operation counters to the
 // thread's private slot so the hot path stays write-contention free.
 thread_local int t_worker_index = 0;
-
-// Grow-only replacement for a vector of atomics (not resizable in place);
-// fresh slots are value-initialized to zero, and callers re-initialize the
-// live prefix on every run anyway.
-template <typename T>
-void ensure_atomic_size(std::vector<std::atomic<T>>& v, std::size_t n) {
-  if (v.size() < n) v = std::vector<std::atomic<T>>(n);
-}
 }  // namespace
 
 ParallelPushRelabel::RegistryHandles
@@ -81,154 +73,34 @@ ParallelPushRelabel::RegistryHandles::make(int threads) {
 ParallelPushRelabel::ParallelPushRelabel(graph::FlowNetwork& net,
                                          Vertex source, Vertex sink,
                                          int threads)
-    : net_(net),
-      source_(source),
-      sink_(sink),
-      threads_(threads),
+    : ParallelEngineBase(net, source, sink, threads),
       registry_(RegistryHandles::make(threads)) {
-  if (threads < 1) {
-    throw std::invalid_argument("ParallelPushRelabel: threads < 1");
-  }
   counters_.resize(static_cast<std::size_t>(threads));
   cumulative_.resize(static_cast<std::size_t>(threads));
   rebind(source, sink);
-  if (threads_ > 1) {
-    pool_.reserve(static_cast<std::size_t>(threads_));
-    for (int t = 0; t < threads_; ++t) {
-      pool_.emplace_back([this, t] { pool_entry(t); });
-    }
-  }
 }
 
 void ParallelPushRelabel::rebind(Vertex source, Vertex sink) {
-  if (source < 0 || source >= net_.num_vertices() || sink < 0 ||
-      sink >= net_.num_vertices() || source == sink) {
-    throw std::invalid_argument("ParallelPushRelabel: bad source/sink");
-  }
-  source_ = source;
-  sink_ = sink;
+  bind(source, sink);
   const auto n = static_cast<std::size_t>(net_.num_vertices());
-  const auto m = static_cast<std::size_t>(net_.num_arcs());
-  adj_offset_.resize(n + 1);
-  adj_arcs_.clear();
-  adj_arcs_.reserve(m);
-  for (std::size_t v = 0; v < n; ++v) {
-    adj_offset_[v] = static_cast<std::int32_t>(adj_arcs_.size());
-    for (ArcId a : net_.out_arcs(static_cast<Vertex>(v))) {
-      adj_arcs_.push_back(a);
-    }
-  }
-  adj_offset_[n] = static_cast<std::int32_t>(adj_arcs_.size());
-  arc_head_.resize(m);
-  for (ArcId a = 0; a < static_cast<ArcId>(m); ++a) {
-    arc_head_[a] = net_.head(a);
-  }
-  cap_.resize(m);
-  ensure_atomic_size(flow_, m);
-  ensure_atomic_size(excess_, n);
   ensure_atomic_size(height_, n);
   ensure_atomic_size(queued_, n);
   if (2 * n + 4 > queue_capacity_) {
     queue_capacity_ = 2 * n + 4;
     queue_ = std::make_unique<MpmcQueue<Vertex>>(queue_capacity_);
   }
-  gr_height_.resize(n);
-  gr_queue_.reserve(n);
-  drain_visit_pos_.resize(n);
-  drain_walk_.reserve(n);
-}
-
-ParallelPushRelabel::~ParallelPushRelabel() {
-  {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
-    shutdown_ = true;
-  }
-  pool_cv_.notify_all();
-  for (auto& th : pool_) th.join();
-  graph::publish_flow_stats(stats_);
-}
-
-void ParallelPushRelabel::pool_entry(int index) {
-  t_worker_index = index;
-  std::uint64_t seen_generation = 0;
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(pool_mutex_);
-      pool_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
-      if (shutdown_) return;
-      seen_generation = generation_;
-    }
-    worker();
-    {
-      std::lock_guard<std::mutex> lock(pool_mutex_);
-      if (--workers_running_ == 0) pool_cv_.notify_all();
-    }
-  }
-}
-
-void ParallelPushRelabel::copy_in() {
-  const auto n = static_cast<std::size_t>(net_.num_vertices());
-  const auto m = static_cast<std::size_t>(net_.num_arcs());
-  for (std::size_t a = 0; a < m; ++a) {
-    cap_[a] = net_.capacity(static_cast<ArcId>(a));
-    flow_[a].store(net_.flow(static_cast<ArcId>(a)),
-                   std::memory_order_relaxed);
-  }
-  // Excess is implied by the conserved flows: inflow minus outflow.
-  for (std::size_t v = 0; v < n; ++v) {
-    excess_[v].store(-net_.net_out_flow(static_cast<Vertex>(v)),
-                     std::memory_order_relaxed);
-    queued_[v].store(false, std::memory_order_relaxed);
-  }
-  excess_[source_].store(0, std::memory_order_relaxed);
-}
-
-void ParallelPushRelabel::copy_out() {
-  for (ArcId a = 0; a < net_.num_arcs(); a += 2) {
-    net_.set_pair_flow(a, flow_[a].load(std::memory_order_relaxed));
-  }
 }
 
 void ParallelPushRelabel::exact_heights() {
   ++stats_.global_relabels;
   const auto n = static_cast<std::size_t>(net_.num_vertices());
-  constexpr std::int32_t kUnset = -1;
   // Runs single-threaded (coordinator with workers parked, or between
-  // runs), so the member scratch is safe to reuse here.
-  std::vector<std::int32_t>& h = gr_height_;
-  std::fill(h.begin(), h.begin() + static_cast<std::ptrdiff_t>(n), kUnset);
-  std::vector<Vertex>& queue = gr_queue_;
-  auto residual = [&](ArcId a) {
-    return cap_[a] - flow_[a].load(std::memory_order_relaxed);
-  };
-  auto backward_bfs = [&](Vertex root, std::int32_t base) {
-    h[root] = base;
-    queue.clear();
-    queue.push_back(root);
-    std::size_t qi = 0;
-    while (qi < queue.size()) {
-      const Vertex v = queue[qi++];
-      for (std::int32_t i = adj_offset_[v]; i < adj_offset_[v + 1]; ++i) {
-        const ArcId a = adj_arcs_[i];
-        const Vertex w = arc_head_[a];
-        if (h[w] != kUnset || residual(a ^ 1) <= 0) continue;
-        h[w] = h[v] + 1;
-        queue.push_back(w);
-      }
-    }
-  };
-  backward_bfs(sink_, 0);
-  const auto hs = static_cast<std::int32_t>(n);
-  if (h[source_] == kUnset) h[source_] = hs;
-  backward_bfs(source_, hs);
+  // runs), so the base scratch is safe to reuse here.  source_side: the
+  // Hong & He engine climbs stranded excess back toward the source over
+  // heights in [n, 2n).
+  reverse_bfs_heights(bfs_height_, /*source_side=*/true);
   for (std::size_t v = 0; v < n; ++v) {
-    if (h[v] == kUnset) h[v] = static_cast<std::int32_t>(2 * n);
-  }
-  h[source_] = hs;
-  for (std::size_t v = 0; v < n; ++v) {
-    height_[v].store(h[v], std::memory_order_relaxed);
+    height_[v].store(bfs_height_[v], std::memory_order_relaxed);
   }
 }
 
@@ -375,103 +247,13 @@ void ParallelPushRelabel::worker() {
   }
 }
 
-void ParallelPushRelabel::drain_stranded_excess() {
-  // Single-threaded epilogue (workers have quiesced): return the excess of
-  // parked vertices to the source by walking positive-flow arcs backward,
-  // canceling flow cycles encountered on the way.  Equivalent to phase two
-  // of the classic push-relabel algorithm, but without any relabeling.
-  const auto n = static_cast<std::size_t>(net_.num_vertices());
-  std::vector<std::int32_t>& visit_pos = drain_visit_pos_;
-  std::fill(visit_pos.begin(), visit_pos.begin() + static_cast<std::ptrdiff_t>(n),
-            -1);
-  // Finds the in-arc (u -> cur) carrying flow: stored as reverse slot b^1
-  // of cur's out-slot b.
-  auto inflow_arc = [&](Vertex cur) -> ArcId {
-    for (std::int32_t i = adj_offset_[cur]; i < adj_offset_[cur + 1]; ++i) {
-      const ArcId b = adj_arcs_[i];
-      if (flow_[b ^ 1].load(std::memory_order_relaxed) > 0) return b ^ 1;
-    }
-    return graph::kInvalidArc;
-  };
-  for (Vertex v = 0; v < net_.num_vertices(); ++v) {
-    if (v == source_ || v == sink_) continue;
-    while (excess_[v].load(std::memory_order_relaxed) > 0) {
-      // Walk backward from v; walk[i] is the flow-carrying arc entering the
-      // vertex at depth i.
-      std::vector<ArcId>& walk = drain_walk_;
-      walk.clear();
-      std::fill(visit_pos.begin(), visit_pos.end(), -1);
-      visit_pos[v] = 0;
-      Vertex cur = v;
-      bool reached_source = false;
-      while (!reached_source) {
-        const ArcId in = inflow_arc(cur);
-        if (in == graph::kInvalidArc) {
-          // Impossible for a vertex with surplus inflow; guard anyway.
-          excess_[v].store(0, std::memory_order_relaxed);
-          break;
-        }
-        const Vertex prev = arc_head_[in ^ 1];  // tail of (prev -> cur)
-        if (prev == source_) {
-          walk.push_back(in);
-          reached_source = true;
-          break;
-        }
-        if (visit_pos[prev] >= 0) {
-          // Cancel the flow cycle prev -> ... -> cur -> prev.
-          Cap cycle_min = flow_[in].load(std::memory_order_relaxed);
-          for (std::size_t k = static_cast<std::size_t>(visit_pos[prev]);
-               k < walk.size(); ++k) {
-            cycle_min = std::min(
-                cycle_min, flow_[walk[k]].load(std::memory_order_relaxed));
-          }
-          flow_[in].fetch_sub(cycle_min, std::memory_order_relaxed);
-          flow_[in ^ 1].fetch_add(cycle_min, std::memory_order_relaxed);
-          for (std::size_t k = static_cast<std::size_t>(visit_pos[prev]);
-               k < walk.size(); ++k) {
-            flow_[walk[k]].fetch_sub(cycle_min, std::memory_order_relaxed);
-            flow_[walk[k] ^ 1].fetch_add(cycle_min,
-                                         std::memory_order_relaxed);
-          }
-          // Rewind the walk to prev, unmarking the tails of popped arcs.
-          while (walk.size() > static_cast<std::size_t>(visit_pos[prev])) {
-            visit_pos[arc_head_[walk.back() ^ 1]] = -1;
-            walk.pop_back();
-          }
-          // visit_pos bookkeeping: prev keeps its position; resume there.
-          cur = prev;
-          continue;
-        }
-        walk.push_back(in);
-        visit_pos[prev] = static_cast<std::int32_t>(walk.size());
-        cur = prev;
-      }
-      if (!reached_source) continue;
-      Cap delta = excess_[v].load(std::memory_order_relaxed);
-      for (ArcId a : walk) {
-        delta = std::min(delta, flow_[a].load(std::memory_order_relaxed));
-      }
-      for (ArcId a : walk) {
-        flow_[a].fetch_sub(delta, std::memory_order_relaxed);
-        flow_[a ^ 1].fetch_add(delta, std::memory_order_relaxed);
-      }
-      excess_[v].fetch_sub(delta, std::memory_order_relaxed);
-    }
-  }
-}
-
 Cap ParallelPushRelabel::resume() {
   copy_in();
-  // Saturate residual source arcs (Algorithm 5 lines 4-10).
-  for (std::int32_t i = adj_offset_[source_]; i < adj_offset_[source_ + 1];
-       ++i) {
-    const ArcId a = adj_arcs_[i];
-    const Cap delta = cap_[a] - flow_[a].load(std::memory_order_relaxed);
-    if (delta <= 0) continue;
-    flow_[a].fetch_add(delta, std::memory_order_relaxed);
-    flow_[a ^ 1].fetch_sub(delta, std::memory_order_relaxed);
-    excess_[arc_head_[a]].fetch_add(delta, std::memory_order_relaxed);
+  const auto n = static_cast<std::size_t>(net_.num_vertices());
+  for (std::size_t v = 0; v < n; ++v) {
+    queued_[v].store(false, std::memory_order_relaxed);
   }
+  saturate_source_arcs();
   exact_heights();
   seed_queue();
   gr_state_.store(0, std::memory_order_relaxed);
@@ -480,19 +262,10 @@ Cap ParallelPushRelabel::resume() {
   relabels_since_gr_.store(0, std::memory_order_relaxed);
   gr_threshold_ = static_cast<std::uint64_t>(net_.num_vertices());
 
-  if (threads_ == 1) {
-    t_worker_index = 0;
+  pool_.run([this](int index) {
+    t_worker_index = index;
     worker();
-  } else {
-    {
-      std::lock_guard<std::mutex> lock(pool_mutex_);
-      workers_running_ = threads_;
-      ++generation_;
-    }
-    pool_cv_.notify_all();
-    std::unique_lock<std::mutex> lock(pool_mutex_);
-    pool_cv_.wait(lock, [&] { return workers_running_ == 0; });
-  }
+  });
 
   drain_stranded_excess();
 
@@ -522,9 +295,10 @@ Cap ParallelPushRelabel::resume() {
   copy_out();
   const Cap value = excess_[sink_].load(std::memory_order_relaxed);
   // Post-solve seam (single-threaded epilogue; all workers joined above, so
-  // the relaxed loads in copy_out observed final values via the mutex/cv
-  // handoff): flows copied back to the shared network must be a conserved
-  // flow whose sink inflow matches the engine's own excess accounting.
+  // the relaxed loads in copy_out observed final values via the pool's
+  // mutex/cv handoff): flows copied back to the shared network must be a
+  // conserved flow whose sink inflow matches the engine's own excess
+  // accounting.
   REPFLOW_CHECK_FLOW(net_, source_, sink_, "parallel_pr.post_resume");
 #if REPFLOW_INVARIANTS_ENABLED
   if (net_.flow_into(sink_) != value) {
@@ -544,18 +318,9 @@ void ParallelPushRelabel::reset_excess_after_restore(Cap /*sink_excess*/) {
 }
 
 std::size_t ParallelPushRelabel::retained_bytes() const {
-  return adj_offset_.capacity() * sizeof(std::int32_t) +
-         adj_arcs_.capacity() * sizeof(ArcId) +
-         arc_head_.capacity() * sizeof(Vertex) +
-         cap_.capacity() * sizeof(Cap) +
-         flow_.size() * sizeof(std::atomic<Cap>) +
-         excess_.size() * sizeof(std::atomic<Cap>) +
+  return retained_bytes_base() +
          height_.size() * sizeof(std::atomic<std::int32_t>) +
-         queued_.size() * sizeof(std::atomic<bool>) +
-         gr_height_.capacity() * sizeof(std::int32_t) +
-         gr_queue_.capacity() * sizeof(Vertex) +
-         drain_visit_pos_.capacity() * sizeof(std::int32_t) +
-         drain_walk_.capacity() * sizeof(ArcId);
+         queued_.size() * sizeof(std::atomic<bool>);
 }
 
 }  // namespace repflow::parallel

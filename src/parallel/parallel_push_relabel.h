@@ -17,23 +17,26 @@
 // PushRelabel: resume() conserves the flows already on the FlowNetwork,
 // saturates residual source arcs, recomputes exact heights, and runs the
 // multithreaded loop; flows are copied back on completion.
+//
+// The CSR capture, atomic flow/excess arrays, worker pool, and the
+// prologue/epilogue shared with the round engine live in
+// ParallelEngineBase (engine_base.h); this class adds the asynchronous
+// scheduling state: the MPMC active queue, atomic heights, and the
+// cooperative global-relabel park protocol.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
-#include "graph/maxflow.h"
 #include "obs/metrics.h"
+#include "parallel/engine_base.h"
 #include "parallel/mpmc_queue.h"
 
 namespace repflow::parallel {
 
-class ParallelPushRelabel {
+class ParallelPushRelabel : public ParallelEngineBase {
  public:
   /// Per-worker operation counters (each slot written by one thread only).
   /// `queue_yields` counts scheduler yields while the work queue was empty
@@ -48,7 +51,6 @@ class ParallelPushRelabel {
 
   ParallelPushRelabel(graph::FlowNetwork& net, graph::Vertex source,
                       graph::Vertex sink, int threads);
-  ~ParallelPushRelabel();
 
   ParallelPushRelabel(const ParallelPushRelabel&) = delete;
   ParallelPushRelabel& operator=(const ParallelPushRelabel&) = delete;
@@ -65,14 +67,12 @@ class ParallelPushRelabel {
 
   /// Integrated run from the network's current flows; returns the flow
   /// value reached (the sink's excess).  Worker threads persist across
-  /// calls (Algorithm 6 resumes many times per query); the condition
-  /// variable handoff below is the only locking, and it sits outside the
-  /// push/relabel operations as [31] requires.
+  /// calls (Algorithm 6 resumes many times per query); the worker pool's
+  /// condition-variable handoff is the only locking, and it sits outside
+  /// the push/relabel operations as [31] requires.
   graph::Cap resume();
 
   void reset_excess_after_restore(graph::Cap sink_excess);
-
-  const graph::FlowStats& stats() const { return stats_; }
 
   /// Cumulative per-thread counters over every resume() so far (index =
   /// worker thread; single-threaded runs use slot 0).
@@ -80,17 +80,12 @@ class ParallelPushRelabel {
     return cumulative_;
   }
 
-  int threads() const { return threads_; }
-
  private:
-  void copy_in();
-  void copy_out();
   void exact_heights();
   void seed_queue();
   void worker();
   void discharge(graph::Vertex v);
   void enqueue(graph::Vertex v);
-  void drain_stranded_excess();
 
   /// Cooperative global relabeling (the role of [31]'s nonblocking global
   /// relabel thread): when the relabel budget is exhausted, one worker
@@ -100,38 +95,13 @@ class ParallelPushRelabel {
   /// coordinated (caller should restart its loop iteration).
   bool maybe_global_relabel();
 
-  graph::FlowNetwork& net_;
-  graph::Vertex source_;
-  graph::Vertex sink_;
-  int threads_;
-  graph::FlowStats stats_;
-
-  // Flattened topology (CSR) captured at construction / rebind().
-  std::vector<std::int32_t> adj_offset_;
-  std::vector<graph::ArcId> adj_arcs_;
-  std::vector<graph::Vertex> arc_head_;
-
-  // Shared mutable state.  The atomic arrays are grow-only: std::atomic is
-  // neither copyable nor movable, so a vector of atomics cannot resize in
-  // place — rebind() replaces them only when the network outgrows them and
-  // otherwise leaves the (possibly oversized) arrays alone; every loop
-  // bounds itself by the live network sizes, not the array sizes.
-  std::vector<graph::Cap> cap_;
-  std::vector<std::atomic<graph::Cap>> flow_;
-  std::vector<std::atomic<graph::Cap>> excess_;
+  // Asynchronous scheduling state on top of the shared substrate.  The
+  // atomic arrays follow the base's grow-only contract.
   std::vector<std::atomic<std::int32_t>> height_;
   std::vector<std::atomic<bool>> queued_;
   std::unique_ptr<MpmcQueue<graph::Vertex>> queue_;
   std::size_t queue_capacity_ = 0;
   std::atomic<std::int64_t> active_count_{0};
-
-  // Single-threaded scratch (exact_heights runs with workers parked;
-  // drain_stranded_excess after they quiesce) kept across runs so the
-  // steady-state path allocates nothing.
-  std::vector<std::int32_t> gr_height_;
-  std::vector<graph::Vertex> gr_queue_;
-  std::vector<std::int32_t> drain_visit_pos_;
-  std::vector<graph::ArcId> drain_walk_;
 
   // Global-relabel coordination (atomics only; no locks on the hot path).
   std::atomic<int> gr_state_{0};   // 0 = normal, 1 = pause requested
@@ -161,15 +131,6 @@ class ParallelPushRelabel {
     std::vector<obs::Counter*> thread_queue_yields;
   };
   RegistryHandles registry_;
-
-  // Persistent worker pool (only used when threads_ > 1).
-  void pool_entry(int index);
-  std::vector<std::thread> pool_;
-  std::mutex pool_mutex_;
-  std::condition_variable pool_cv_;
-  std::uint64_t generation_ = 0;
-  int workers_running_ = 0;
-  bool shutdown_ = false;
 };
 
 }  // namespace repflow::parallel

@@ -1,0 +1,106 @@
+// Persistent worker pool shared by the parallel max-flow engines.
+//
+// Extracted from ParallelPushRelabel so the Hong & He engine and the
+// round-based engine reuse one spawn-once / run-many protocol: `threads`
+// OS threads are created at construction and parked on a condition
+// variable; run(job) publishes the job, wakes every worker, and blocks the
+// caller until all of them finished.  Algorithm 6 resumes an engine many
+// times per query, so the threads must survive across runs — thread
+// creation per resume() would dominate small-query latency.
+//
+// Synchronization contract: the mutex + condition-variable handoff around
+// each run() provides the happens-before edges into and out of a parallel
+// phase.  Everything a worker wrote before finishing is visible to the
+// caller when run() returns, and everything the caller wrote before run()
+// is visible to every worker — engines exploit this to keep their
+// single-threaded prologue/epilogue (and the round engine its barrier
+// commits) free of per-cell synchronization.
+//
+// threads == 1 never spawns: run(job) invokes job(0) inline on the caller,
+// so single-threaded engines stay deterministic and signal-safe.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace repflow::parallel {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(int threads) : threads_(threads) {
+    if (threads_ > 1) {
+      workers_.reserve(static_cast<std::size_t>(threads_));
+      for (int t = 0; t < threads_; ++t) {
+        workers_.emplace_back([this, t] { entry(t); });
+      }
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Run `job(worker_index)` on every worker (indices 0..threads-1) and
+  /// block until all of them return.  Not reentrant; one run at a time.
+  void run(const std::function<void(int)>& job) {
+    if (threads_ == 1) {
+      job(0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &job;
+      running_ = threads_;
+      ++generation_;
+    }
+    cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return running_ == 0; });
+    job_ = nullptr;
+  }
+
+  int threads() const { return threads_; }
+
+ private:
+  void entry(int index) {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      const std::function<void(int)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock,
+                 [&] { return shutdown_ || generation_ != seen_generation; });
+        if (shutdown_) return;
+        seen_generation = generation_;
+        job = job_;
+      }
+      (*job)(index);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--running_ == 0) cv_.notify_all();
+      }
+    }
+  }
+
+  int threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int running_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace repflow::parallel

@@ -77,15 +77,24 @@ RetrievalProblem random_general_problem(std::int32_t disks,
 }
 
 /// Run `kind` and hold its result against the oracle response time and the
-/// analysis-layer schedule checkers.
+/// analysis-layer schedule checkers.  The parallel kind runs once per
+/// concrete engine (Hong & He and the round engine must both return the
+/// exact optimum — EXPECT_DOUBLE_EQ, not an epsilon).
 void expect_matches_oracle(const RetrievalProblem& problem, SolverKind kind,
                            double oracle_ms, const char* oracle_name) {
-  const SolveResult result = core::solve(problem, kind, /*threads=*/2);
-  EXPECT_DOUBLE_EQ(result.response_time_ms, oracle_ms)
-      << core::solver_id(kind) << " vs " << oracle_name;
-  const auto report = analysis::check_solve_result(problem, result);
-  EXPECT_TRUE(report.ok())
-      << core::solver_id(kind) << ": " << report.to_string();
+  for (core::EngineKind engine : core::kAllEngineKinds) {
+    const SolveResult result =
+        core::solve(problem, kind, /*threads=*/2, engine);
+    EXPECT_DOUBLE_EQ(result.response_time_ms, oracle_ms)
+        << core::solver_id(kind) << "/" << core::engine_id(engine) << " vs "
+        << oracle_name;
+    const auto report = analysis::check_solve_result(problem, result);
+    EXPECT_TRUE(report.ok())
+        << core::solver_id(kind) << "/" << core::engine_id(engine) << ": "
+        << report.to_string();
+    // The engine only differentiates the parallel kind.
+    if (kind != SolverKind::kParallelPushRelabelBinary) break;
+  }
 }
 
 TEST(DifferentialSolve, CatalogAgreesWithBruteForceOnBasicInstances) {

@@ -13,6 +13,14 @@ Inputs:
     ``router_overload`` gates.  These response times are virtual/model
     milliseconds — deterministic for a fixed seed — so unlike the wall-clock
     gates no noise tolerance is applied.
+  * a head-to-head JSON (``--parallel-head``) from
+    ``fig10_parallel_speedup --bench-json=...``, whose
+    ``round_over_hong_he`` ratio at the largest thread count must clear the
+    baseline's ``gate_min_round_over_hong_he`` floor and whose ``auto_pick``
+    must match ``gate_expected_auto_pick``;
+  * a metrics sidecar JSON (``--parallel-metrics``) from the same run, which
+    must show the round engine actually ran (``parallel.rounds`` and
+    ``parallel.global_relabels`` counters > 0).
 
 CI runners are noisy shared machines, so the timing comparison is
 deliberately generous: a benchmark only fails when it is more than
@@ -119,6 +127,59 @@ def check_router_metrics(baseline: dict, metrics_path: str):
     return failures
 
 
+def check_parallel_head(baseline: dict, head_path: str):
+    """Round engine must stay competitive and win the adaptive pick.
+
+    The ratio gate applies at the largest thread count only: that is where
+    the pre-cutoff regression (two pool barriers per tiny round) was worst,
+    and where a barrier-cost regression would reappear first.  Both engines
+    are timed over identical problems in one process, so the ratio is much
+    more stable than either wall-clock number alone.
+    """
+    gates = baseline.get("parallel_head_to_head", {})
+    min_ratio = gates.get("gate_min_round_over_hong_he")
+    expected_pick = gates.get("gate_expected_auto_pick")
+    if min_ratio is None or expected_pick is None:
+        sys.exit("baseline has no parallel_head_to_head gates "
+                 "(gate_min_round_over_hong_he / gate_expected_auto_pick)")
+    head = load_json(head_path)
+    rows = head.get("head_to_head", [])
+    if not rows:
+        return [f"no head_to_head rows in {head_path}"]
+    top = max(rows, key=lambda r: r.get("threads", 0))
+    ratio = top.get("round_over_hong_he")
+    pick = head.get("auto_pick")
+    failures = []
+    if ratio is None:
+        return [f"head_to_head row lacks round_over_hong_he in {head_path}"]
+    print(f"round/hong_he @ {top.get('threads')} threads = {ratio:.3f} "
+          f"(gate >= {min_ratio})")
+    print(f"auto_pick = {pick} (gate == {expected_pick})")
+    if ratio < min_ratio:
+        failures.append(
+            f"round engine regressed vs hong_he at "
+            f"{top.get('threads')} threads: {ratio:.3f} < {min_ratio}")
+    if pick != expected_pick:
+        failures.append(
+            f"adaptive selection picked {pick!r}, expected "
+            f"{expected_pick!r}")
+    return failures
+
+
+def check_parallel_metrics(metrics_path: str):
+    """The head-to-head run must have exercised the round engine."""
+    counters = load_json(metrics_path).get("counters", {})
+    failures = []
+    for name in ("parallel.rounds", "parallel.global_relabels"):
+        value = counters.get(name, 0)
+        print(f"{name} = {value}")
+        if not value:
+            failures.append(
+                f"{name} counter is {value} in {metrics_path}: the round "
+                f"engine never ran")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default="BENCH_matching.json",
@@ -130,12 +191,18 @@ def main() -> int:
     parser.add_argument("--router-metrics",
                         help="metrics sidecar from an --admission=coalesce "
                              "overload run")
+    parser.add_argument("--parallel-head",
+                        help="fig10_parallel_speedup --bench-json output")
+    parser.add_argument("--parallel-metrics",
+                        help="metrics sidecar from the head-to-head run")
     parser.add_argument("--tolerance", type=float, default=2.0,
                         help="slowdown factor that fails the gate")
     args = parser.parse_args()
-    if not (args.bench_json or args.stream_metrics or args.router_metrics):
+    if not (args.bench_json or args.stream_metrics or args.router_metrics
+            or args.parallel_head or args.parallel_metrics):
         parser.error("nothing to check: pass --bench-json, "
-                     "--stream-metrics, and/or --router-metrics")
+                     "--stream-metrics, --router-metrics, "
+                     "--parallel-head, and/or --parallel-metrics")
 
     baseline = load_json(args.baseline)
     failures = []
@@ -146,6 +213,10 @@ def main() -> int:
         failures += check_stream_metrics(baseline, args.stream_metrics)
     if args.router_metrics:
         failures += check_router_metrics(baseline, args.router_metrics)
+    if args.parallel_head:
+        failures += check_parallel_head(baseline, args.parallel_head)
+    if args.parallel_metrics:
+        failures += check_parallel_metrics(args.parallel_metrics)
 
     if failures:
         print("\nPERF REGRESSIONS:", file=sys.stderr)
