@@ -33,6 +33,8 @@ void InvariantReport::merge(InvariantReport other) {
 }
 
 void enforce(const InvariantReport& report, const char* context) {
+  // mo: relaxed — process-wide tallies for test assertions; no payload is
+  // published through them, so RMW atomicity is the whole contract.
   g_checks_run.fetch_add(1, std::memory_order_relaxed);
   if (report.ok()) return;
   g_violations_seen.fetch_add(report.violations.size(),
@@ -41,10 +43,12 @@ void enforce(const InvariantReport& report, const char* context) {
 }
 
 std::uint64_t invariant_checks_run() {
+  // mo: relaxed — statistical read of the tally above.
   return g_checks_run.load(std::memory_order_relaxed);
 }
 
 std::uint64_t invariant_violations_seen() {
+  // mo: relaxed — statistical read of the tally above.
   return g_violations_seen.load(std::memory_order_relaxed);
 }
 

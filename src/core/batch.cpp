@@ -24,7 +24,7 @@ BatchSolver::BatchSolver(BatchOptions options) : options_(options) {
 
 BatchSolver::~BatchSolver() {
   {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    support::MutexLock lock(pool_mutex_);
     shutdown_ = true;
   }
   pool_cv_.notify_all();
@@ -35,16 +35,16 @@ void BatchSolver::worker_entry(int index) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(pool_mutex_);
-      pool_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      support::MutexLock lock(pool_mutex_);
+      while (!shutdown_ && generation_ == seen_generation) {
+        pool_cv_.wait(pool_mutex_);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
     }
     drain(index);
     {
-      std::lock_guard<std::mutex> lock(pool_mutex_);
+      support::MutexLock lock(pool_mutex_);
       if (--workers_running_ == 0) pool_cv_.notify_all();
     }
   }
@@ -55,16 +55,21 @@ void BatchSolver::drain(int index) {
   for (;;) {
     // Fast abort: once any worker recorded an error, stop claiming work so
     // the batch call returns instead of grinding through the tail.
+    // mo: acquire — pairs with the release store below so the aborting
+    // worker's first_error_ write (under error_mutex_) is visible.
     if (abort_.load(std::memory_order_acquire)) return;
+    // mo: relaxed — the cursor is a bare ticket; the claimed problem slot
+    // was published by the pool_mutex_ generation handoff, not by this RMW.
     const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
     if (i >= problems_->size()) return;
     try {
       context.solve_into((*problems_)[i], (*results_)[i]);
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(error_mutex_);
+        support::MutexLock lock(error_mutex_);
         if (!first_error_) first_error_ = std::current_exception();
       }
+      // mo: release — publishes the error slot to peers' acquire loads.
       abort_.store(true, std::memory_order_release);
       return;
     }
@@ -76,26 +81,42 @@ void BatchSolver::solve_into(const std::vector<RetrievalProblem>& problems,
   results.resize(problems.size());
   problems_ = &problems;
   results_ = &results;
+  // mo: relaxed — re-arming between batches; the pool_mutex_ generation
+  // handoff below publishes these stores to the workers.
   cursor_.store(0, std::memory_order_relaxed);
   abort_.store(false, std::memory_order_relaxed);
-  first_error_ = nullptr;
+  {
+    // Thread-safety analysis found this re-arm running without
+    // error_mutex_; the previous batch's workers have quiesced (the
+    // generation handoff), but the guarded discipline is now explicit
+    // instead of relying on that reasoning at a distance.
+    support::MutexLock lock(error_mutex_);
+    first_error_ = nullptr;
+  }
 
   if (options_.threads == 1 || problems.size() <= 1) {
     drain(0);
   } else {
     {
-      std::lock_guard<std::mutex> lock(pool_mutex_);
+      support::MutexLock lock(pool_mutex_);
       workers_running_ = options_.threads;
       ++generation_;
     }
     pool_cv_.notify_all();
-    std::unique_lock<std::mutex> lock(pool_mutex_);
-    pool_cv_.wait(lock, [&] { return workers_running_ == 0; });
+    {
+      support::MutexLock lock(pool_mutex_);
+      while (workers_running_ != 0) pool_cv_.wait(pool_mutex_);
+    }
   }
 
   problems_ = nullptr;
   results_ = nullptr;
-  if (first_error_) std::rethrow_exception(first_error_);
+  std::exception_ptr error;
+  {
+    support::MutexLock lock(error_mutex_);
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 std::vector<SolveResult> BatchSolver::solve(

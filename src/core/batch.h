@@ -8,11 +8,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -20,6 +18,7 @@
 #include "core/execution.h"
 #include "core/problem.h"
 #include "core/solver.h"
+#include "support/thread_annotations.h"
 
 namespace repflow::core {
 
@@ -81,24 +80,27 @@ class BatchSolver {
   // design); unique_ptr because ExecutionContext is non-copyable.
   std::vector<std::unique_ptr<ExecutionContext>> contexts_;
 
-  // Per-batch shared state (set by solve_into before waking the workers).
+  // Per-batch shared state (set by solve_into before waking the workers;
+  // the pool_mutex_ generation handoff publishes it to the workers, so no
+  // lock is held while they read it — deliberately unannotated).
   const std::vector<RetrievalProblem>* problems_ = nullptr;
   std::vector<SolveResult>* results_ = nullptr;
   std::atomic<std::size_t> cursor_{0};
   // Raised by the first throwing worker; every drain loop checks it before
   // claiming another problem, so one failure stops the whole batch.
   std::atomic<bool> abort_{false};
-  std::exception_ptr first_error_;
-  std::mutex error_mutex_;
+  support::Mutex error_mutex_;
+  std::exception_ptr first_error_ REPFLOW_GUARDED_BY(error_mutex_);
 
   // Persistent worker pool (only used when options_.threads > 1), same
-  // generation handoff as the parallel engine's pool.
+  // generation handoff as the parallel engine's pool.  pool_mutex_ guards
+  // the handoff state below (compile-time checked; docs/ANALYSIS.md).
   std::vector<std::thread> workers_;
-  std::mutex pool_mutex_;
-  std::condition_variable pool_cv_;
-  std::uint64_t generation_ = 0;
-  int workers_running_ = 0;
-  bool shutdown_ = false;
+  support::Mutex pool_mutex_;
+  support::CondVar pool_cv_;
+  std::uint64_t generation_ REPFLOW_GUARDED_BY(pool_mutex_) = 0;
+  int workers_running_ REPFLOW_GUARDED_BY(pool_mutex_) = 0;
+  bool shutdown_ REPFLOW_GUARDED_BY(pool_mutex_) = false;
 };
 
 /// Solve all problems with a one-shot BatchSolver; results are returned in

@@ -43,10 +43,12 @@ FlightRecorder& FlightRecorder::global() {
 
 FlightRecorder::FlightRecorder(std::size_t capacity)
     : slots_(std::max<std::size_t>(1, capacity)),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_ns_(Clock::now().time_since_epoch().count()) {}
 
 void FlightRecorder::record(std::uint64_t query_id, FlightEventKind kind,
                             double value, std::int32_t detail) {
+  // mo: relaxed — the ticket is a bare slot claim; publication of the
+  // event payload happens through the slot's seqlock stamp, not head_.
   const std::uint64_t ticket =
       head_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[static_cast<std::size_t>(ticket % slots_.size())];
@@ -54,15 +56,24 @@ void FlightRecorder::record(std::uint64_t query_id, FlightEventKind kind,
   // ticket's stamps for this slot) once published.  Two writers only meet
   // on one slot after a full ring wrap during a single write — the reader
   // drops such torn slots via the stamp re-check.
+  // mo: release — the odd stamp must be visible before any payload bytes
+  // so a reader that misses it cannot treat a mid-write slot as stable.
   slot.stamp.store(2 * ticket + 1, std::memory_order_release);
   slot.event.query_id = query_id;
   slot.event.seq = ticket;
+  // mo: relaxed — the epoch is a coarse timestamp base; a reader racing
+  // clear() may see old-epoch t_ms values, which the torn-slot contract
+  // already tolerates.
+  const auto epoch = Clock::time_point(
+      Clock::duration(epoch_ns_.load(std::memory_order_relaxed)));
   slot.event.t_ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - epoch_)
+                        Clock::now() - epoch)
                         .count();
   slot.event.value = value;
   slot.event.detail = detail;
   slot.event.kind = kind;
+  // mo: release — publishes the completed payload; pairs with the acquire
+  // stamp loads in events().
   slot.stamp.store(2 * ticket + 2, std::memory_order_release);
 }
 
@@ -70,9 +81,13 @@ std::vector<FlightEvent> FlightRecorder::events() const {
   std::vector<FlightEvent> out;
   out.reserve(slots_.size());
   for (const Slot& slot : slots_) {
+    // mo: acquire — pairs with the writer's release stamps; an even stamp
+    // makes the published payload visible, and the second load re-checks
+    // that no writer re-entered the slot while we copied.
     const std::uint64_t before = slot.stamp.load(std::memory_order_acquire);
     if (before == 0 || before % 2 != 0) continue;  // empty or mid-write
     FlightEvent copy = slot.event;
+    // mo: acquire — see the stamp note above (torn-read re-check).
     const std::uint64_t after = slot.stamp.load(std::memory_order_acquire);
     if (after != before) continue;  // overwritten while copying
     out.push_back(copy);
@@ -102,24 +117,29 @@ void FlightRecorder::note_breach(std::uint64_t query_id, double response_ms,
   dump.response_ms = response_ms;
   dump.budget_ms = budget_ms;
   dump.chain = query_events(query_id);
-  std::lock_guard<std::mutex> lock(breach_mutex_);
+  support::MutexLock lock(breach_mutex_);
   breaches_.push_back(std::move(dump));
   while (breaches_.size() > kMaxBreachDumps) breaches_.pop_front();
 }
 
 std::vector<BreachDump> FlightRecorder::breaches() const {
-  std::lock_guard<std::mutex> lock(breach_mutex_);
+  support::MutexLock lock(breach_mutex_);
   return {breaches_.begin(), breaches_.end()};
 }
 
 void FlightRecorder::clear() {
+  // mo: relaxed — clear is only exact when recorders are quiescent (the
+  // Counter::reset contract); racing writers re-stamp via their own release
+  // stores, so no edges are needed here.
   for (Slot& slot : slots_) slot.stamp.store(0, std::memory_order_relaxed);
   head_.store(0, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(breach_mutex_);
+    support::MutexLock lock(breach_mutex_);
     breaches_.clear();
   }
-  epoch_ = std::chrono::steady_clock::now();
+  // mo: relaxed — see the epoch note in record().
+  epoch_ns_.store(Clock::now().time_since_epoch().count(),
+                  std::memory_order_relaxed);
 }
 
 #endif  // REPFLOW_OBS_DISABLED

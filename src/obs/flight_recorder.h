@@ -32,8 +32,9 @@
 #if !defined(REPFLOW_OBS_DISABLED)
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #endif
+
+#include "support/thread_annotations.h"
 
 namespace repflow::obs {
 
@@ -106,6 +107,8 @@ class FlightRecorder {
   explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
 
   /// Fresh monotonically increasing query id (starts at 1; 0 = none).
+  // mo: relaxed — the id is a bare ticket; uniqueness comes from RMW
+  // atomicity, and the id carries no payload needing ordering.
   std::uint64_t next_query_id() {
     return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
@@ -125,21 +128,27 @@ class FlightRecorder {
   /// Record a kBreach event and copy the query's current chain into the
   /// bounded breach log (oldest dumps evicted past kMaxBreachDumps).
   void note_breach(std::uint64_t query_id, double response_ms,
-                   double budget_ms);
+                   double budget_ms) REPFLOW_EXCLUDES(breach_mutex_);
 
   /// Copies of the retained breach dumps, oldest first.
-  std::vector<BreachDump> breaches() const;
+  std::vector<BreachDump> breaches() const REPFLOW_EXCLUDES(breach_mutex_);
 
   /// Events recorded since construction/clear (monotonic, not capped by
   /// the ring size).
+  // mo: relaxed — statistical read of the ticket counter; slot contents are
+  // published by the per-slot seqlock stamps, not by head_.
   std::uint64_t recorded() const {
     return head_.load(std::memory_order_relaxed);
   }
 
   std::size_t capacity() const { return slots_.size(); }
 
-  /// Drop all events and breach dumps (ids keep advancing).
-  void clear();
+  /// Drop all events and breach dumps (ids keep advancing).  Not atomic
+  /// with respect to concurrent record() calls: in-flight writers may
+  /// re-stamp a slot after the sweep (the same torn-read contract as
+  /// events()), but the epoch swap itself is race-free (epoch_ns_ is
+  /// atomic).
+  void clear() REPFLOW_EXCLUDES(breach_mutex_);
 
  private:
   struct Slot {
@@ -149,13 +158,20 @@ class FlightRecorder {
     FlightEvent event;
   };
 
+  using Clock = std::chrono::steady_clock;
+
   std::vector<Slot> slots_;
   std::atomic<std::uint64_t> head_{0};
   std::atomic<std::uint64_t> next_id_{0};
-  std::chrono::steady_clock::time_point epoch_;
+  // Epoch as a raw tick count.  Thread-safety review (the pass that added
+  // the annotations below) found the previous plain time_point was written
+  // by clear() while lock-free record() calls read it — a genuine data
+  // race.  An atomic tick count keeps the write path lock-free.
+  std::atomic<Clock::rep> epoch_ns_;
 
-  mutable std::mutex breach_mutex_;
-  std::deque<BreachDump> breaches_;
+  // breach_mutex_ guards the bounded breach log (compile-time checked).
+  mutable support::Mutex breach_mutex_;
+  std::deque<BreachDump> breaches_ REPFLOW_GUARDED_BY(breach_mutex_);
 };
 
 #else  // REPFLOW_OBS_DISABLED

@@ -50,6 +50,8 @@ HttpExporter::HttpExporter(HttpExporterOptions options)
 HttpExporter::~HttpExporter() { stop(); }
 
 bool HttpExporter::start() {
+  // mo: acquire/release on running_ — the release store below publishes the
+  // bound socket state to anyone observing running()==true.
   if (running_.load(std::memory_order_acquire)) return true;
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -79,9 +81,11 @@ bool HttpExporter::start() {
   }
 
   {
-    std::lock_guard<std::mutex> lock(stop_mutex_);
+    support::MutexLock lock(stop_mutex_);
     stopping_ = false;
   }
+  // mo: release — publishes the bound socket/port to running() observers
+  // (pairs with the acquire loads in running() and serve_loop()).
   running_.store(true, std::memory_order_release);
   serve_thread_ = std::thread(&HttpExporter::serve_loop, this);
   tick_thread_ = std::thread(&HttpExporter::tick_loop, this);
@@ -89,9 +93,11 @@ bool HttpExporter::start() {
 }
 
 void HttpExporter::stop() {
+  // mo: acq_rel — the exchange both claims the single stop (acquire pairs
+  // with start's release) and publishes "stopped" to running() observers.
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   {
-    std::lock_guard<std::mutex> lock(stop_mutex_);
+    support::MutexLock lock(stop_mutex_);
     stopping_ = true;
   }
   stop_cv_.notify_all();
@@ -136,6 +142,9 @@ std::string HttpExporter::handle(std::string_view target) const {
 }
 
 void HttpExporter::serve_loop() {
+  // mo: acquire — pairs with stop()'s acq_rel exchange; seeing false means
+  // the socket teardown that follows in stop() has not happened yet (stop
+  // joins this thread before closing the fd).
   while (running_.load(std::memory_order_acquire)) {
     pollfd pfd{};
     pfd.fd = listen_fd_;
@@ -165,16 +174,27 @@ void HttpExporter::serve_loop() {
 }
 
 void HttpExporter::tick_loop() {
-  const auto interval = std::chrono::duration<double, std::milli>(
-      options_.tick_interval_ms > 0 ? options_.tick_interval_ms : 1000.0);
-  std::unique_lock<std::mutex> lock(stop_mutex_);
-  while (!stopping_) {
-    if (stop_cv_.wait_for(lock, interval, [this] { return stopping_; })) {
-      break;
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              options_.tick_interval_ms > 0 ? options_.tick_interval_ms
+                                            : 1000.0));
+  for (;;) {
+    const auto deadline = std::chrono::steady_clock::now() + interval;
+    {
+      support::MutexLock lock(stop_mutex_);
+      // Explicit predicate loop (not a lambda-predicate wait): the
+      // thread-safety analysis can check stopping_ accesses here, and
+      // spurious wakeups re-test both the flag and the deadline.
+      while (!stopping_) {
+        if (stop_cv_.wait_until(stop_mutex_, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (stopping_) return;
     }
-    lock.unlock();
     tick_now();
-    lock.lock();
   }
 }
 

@@ -25,9 +25,7 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -35,6 +33,7 @@
 
 #include "obs/slo.h"
 #include "obs/window.h"
+#include "support/thread_annotations.h"
 
 namespace repflow::obs {
 
@@ -55,11 +54,13 @@ class HttpExporter {
   /// Bind + listen and spawn the ticker/accept threads.  Returns false if
   /// the port could not be bound (the exporter stays stopped; telemetry
   /// callers treat that as "run without a scrape endpoint").
-  bool start();
+  bool start() REPFLOW_EXCLUDES(stop_mutex_);
 
   /// Stop both threads and close the socket.  Idempotent.
-  void stop();
+  void stop() REPFLOW_EXCLUDES(stop_mutex_);
 
+  // mo: acquire — pairs with the release store in start() so a caller that
+  // observes running()==true also sees the bound port/socket state.
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// The bound port (resolved after start() when options.port was 0).
@@ -81,7 +82,7 @@ class HttpExporter {
 
  private:
   void serve_loop();
-  void tick_loop();
+  void tick_loop() REPFLOW_EXCLUDES(stop_mutex_);
 
   HttpExporterOptions options_;
   WindowedAggregator aggregator_;
@@ -92,9 +93,12 @@ class HttpExporter {
   std::atomic<bool> running_{false};
   std::thread serve_thread_;
   std::thread tick_thread_;
-  std::mutex stop_mutex_;
-  std::condition_variable stop_cv_;
-  bool stopping_ = false;
+  // stop_mutex_ guards the stop flag the ticker sleeps on (compile-time
+  // checked); running_ stays a separate atomic because the serve loop polls
+  // it without blocking.
+  support::Mutex stop_mutex_;
+  support::CondVar stop_cv_;
+  bool stopping_ REPFLOW_GUARDED_BY(stop_mutex_) = false;
 };
 
 }  // namespace repflow::obs

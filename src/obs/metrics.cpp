@@ -44,6 +44,8 @@ double percentile_from_buckets(std::span<const double> bucket_bounds,
 namespace {
 
 /// Atomic max/min for doubles via CAS (std::atomic<double> has no fetch_max).
+// mo: relaxed — the min/max cells carry no other data; CAS atomicity alone
+// guarantees the window only widens, and snapshot readers are statistical.
 void atomic_store_max(std::atomic<double>& slot, double value) {
   double cur = slot.load(std::memory_order_relaxed);
   while (value > cur &&
@@ -51,6 +53,7 @@ void atomic_store_max(std::atomic<double>& slot, double value) {
   }
 }
 
+// mo: relaxed — same argument as atomic_store_max.
 void atomic_store_min(std::atomic<double>& slot, double value) {
   double cur = slot.load(std::memory_order_relaxed);
   while (value < cur &&
@@ -75,12 +78,15 @@ double Histogram::bucket_bound(int i) {
 }
 
 void Histogram::observe(double value_ms) {
+  // mo: relaxed — each cell is an independent tally; cross-cell skew is an
+  // accepted property of lock-free snapshots (summary() may tear).
   buckets_[bucket_index(value_ms)].fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t seen = count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value_ms, std::memory_order_relaxed);
   if (seen == 0) {
     // First observation initializes min/max; racing observers fix it up via
     // the CAS loops below, so the window only widens, never shrinks.
+    // mo: relaxed — the CAS fix-up below makes ordering irrelevant here.
     min_.store(value_ms, std::memory_order_relaxed);
     max_.store(value_ms, std::memory_order_relaxed);
   }
@@ -90,10 +96,13 @@ void Histogram::observe(double value_ms) {
 
 HistogramSummary Histogram::summary() const {
   HistogramSummary s;
+  // mo: relaxed — statistical snapshot; fields may be mutually skewed by
+  // in-flight observe() calls, which the estimator tolerates by design.
   s.count = count_.load(std::memory_order_relaxed);
   if (s.count == 0) return s;
   s.sum = sum_.load(std::memory_order_relaxed);
   s.min = min_.load(std::memory_order_relaxed);
+  // mo: relaxed — same snapshot contract as the loads above.
   s.max = max_.load(std::memory_order_relaxed);
   s.mean = s.sum / static_cast<double>(s.count);
 
@@ -104,6 +113,7 @@ HistogramSummary Histogram::summary() const {
   std::uint64_t counts[kBucketCount];
   for (int i = 0; i < kBucketCount; ++i) {
     bounds[i] = bucket_bound(i);
+    // mo: relaxed — see the snapshot note at the top of summary().
     counts[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   s.p50 = percentile_from_buckets(bounds, counts, 0.50, s.min, s.max);
@@ -113,9 +123,12 @@ HistogramSummary Histogram::summary() const {
 }
 
 void Histogram::reset() {
+  // mo: relaxed — reset is only exact when observers are quiescent (the
+  // same contract as Counter::reset); no edges to preserve.
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  // mo: relaxed — same quiescent-reset contract as the stores above.
   min_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
 }
@@ -126,7 +139,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -136,7 +149,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -145,7 +158,7 @@ Gauge& Registry::gauge(std::string_view name) {
 }
 
 Accumulator& Registry::accumulator(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto it = accumulators_.find(name);
   if (it == accumulators_.end()) {
     it = accumulators_
@@ -156,7 +169,7 @@ Accumulator& Registry::accumulator(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -167,7 +180,7 @@ Histogram& Registry::histogram(std::string_view name) {
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   for (const auto& [name, counter] : counters_) {
     snap.counters[name] = counter->value();
   }
@@ -192,7 +205,7 @@ MetricsSnapshot Registry::snapshot() const {
 }
 
 void Registry::reset_values() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, gauge] : gauges_) gauge->reset();
   for (auto& [name, accum] : accumulators_) accum->reset();

@@ -19,11 +19,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "support/thread_annotations.h"
 
 namespace repflow::obs {
 
@@ -74,10 +75,14 @@ double percentile_from_buckets(std::span<const double> bucket_bounds,
 /// Monotonic counter.  add() is wait-free; value() is a relaxed load.
 class Counter {
  public:
+  // mo: relaxed — independent monotonic tally; readers (snapshots) need no
+  // cross-metric ordering, only eventual visibility of each atomic RMW.
   void add(std::uint64_t delta = 1) {
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
+  // mo: relaxed — see add(); a snapshot is a statistical read, not an edge.
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  // mo: relaxed — reset is only exact when writers are quiescent.
   void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -87,8 +92,12 @@ class Counter {
 /// Last-write-wins gauge (a level, not an accumulation).
 class Gauge {
  public:
+  // mo: relaxed — last-write-wins level; no ordering contract with any
+  // other memory, so relaxed store/load is the whole protocol.
   void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  // mo: relaxed — see set().
   double value() const { return value_.load(std::memory_order_relaxed); }
+  // mo: relaxed — see set().
   void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
@@ -101,8 +110,11 @@ class Gauge {
 /// `disk.<j>.busy_ms` series yields utilization as rate/1000.
 class Accumulator {
  public:
+  // mo: relaxed — same contract as Counter::add (monotonic sum, no edges).
   void add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  // mo: relaxed — statistical snapshot read.
   double value() const { return value_.load(std::memory_order_relaxed); }
+  // mo: relaxed — reset is only exact when writers are quiescent.
   void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
@@ -124,6 +136,8 @@ class Histogram {
 
   /// Upper bound of bucket `i` in ms (+inf for the overflow bucket).
   static double bucket_bound(int i);
+  // mo: relaxed — bucket tallies are independent monotonic counters; a
+  // snapshot may tear across buckets, which summary() tolerates by design.
   std::uint64_t bucket_count(int i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
@@ -137,30 +151,35 @@ class Histogram {
 };
 
 /// Named metric registry.  Lookup takes a mutex; returned references stay
-/// valid for the registry's lifetime, so resolve handles once and cache them.
+/// valid for the registry's lifetime, so resolve handles once and cache
+/// them.  mutex_ guards the four name maps (the metric objects themselves
+/// are internally atomic and are handed out as unguarded references).
 class Registry {
  public:
   /// The process-wide registry used by the solvers and exporters.
   static Registry& global();
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Accumulator& accumulator(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  Counter& counter(std::string_view name) REPFLOW_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) REPFLOW_EXCLUDES(mutex_);
+  Accumulator& accumulator(std::string_view name) REPFLOW_EXCLUDES(mutex_);
+  Histogram& histogram(std::string_view name) REPFLOW_EXCLUDES(mutex_);
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const REPFLOW_EXCLUDES(mutex_);
 
   /// Zero every metric's value.  Names and handles stay registered (and
   /// valid); only the accumulated data is cleared.
-  void reset_values();
+  void reset_values() REPFLOW_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  mutable support::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      REPFLOW_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      REPFLOW_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Accumulator>, std::less<>>
-      accumulators_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+      accumulators_ REPFLOW_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      REPFLOW_GUARDED_BY(mutex_);
 };
 
 /// RAII latency sample: observes the enclosing scope's wall time into a

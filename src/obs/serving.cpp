@@ -33,7 +33,10 @@ DiskInstruments& DiskInstruments::global() {
 }
 
 DiskInstrument& DiskInstruments::resolve(std::size_t idx) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
+  // mo: relaxed — under mutex_ a racing registration is impossible; this
+  // load only detects a first-touch we lost the race to, and that slot was
+  // published (release) before the loser could acquire mutex_.
   DiskInstrument* slot = slots_[idx].load(std::memory_order_relaxed);
   if (slot != nullptr) return *slot;
   const std::string prefix =
@@ -45,8 +48,11 @@ DiskInstrument& DiskInstruments::resolve(std::size_t idx) {
       registry.accumulator(prefix + ".busy_ms"),
       registry.counter(prefix + ".assigned_buckets"),
       registry.counter(prefix + ".capacity_steps")});
-  slots_[idx].store(&owned_.back(), std::memory_order_release);
-  return owned_.back();
+  DiskInstrument* fresh = &owned_.back();
+  // mo: release — publishes the fully constructed bundle to the lock-free
+  // acquire loads in disk().
+  slots_[idx].store(fresh, std::memory_order_release);
+  return *fresh;
 }
 
 #endif  // REPFLOW_OBS_DISABLED

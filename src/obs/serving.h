@@ -48,10 +48,10 @@
 #if !defined(REPFLOW_OBS_DISABLED)
 #include <atomic>
 #include <deque>
-#include <mutex>
 #endif
 
 #include "obs/metrics.h"
+#include "support/thread_annotations.h"
 
 namespace repflow::obs {
 
@@ -102,21 +102,26 @@ class DiskInstruments {
 
   static DiskInstruments& global();
 
-  DiskInstrument& disk(std::int32_t j) {
+  DiskInstrument& disk(std::int32_t j) REPFLOW_EXCLUDES(mutex_) {
     const std::size_t idx =
         j >= 0 && j < kMaxTracked ? static_cast<std::size_t>(j)
                                   : static_cast<std::size_t>(kMaxTracked);
+    // mo: acquire — pairs with the release store in resolve(); observing a
+    // non-null slot must also make the pointee's construction visible.
     DiskInstrument* slot = slots_[idx].load(std::memory_order_acquire);
     if (slot != nullptr) return *slot;
     return resolve(idx);
   }
 
  private:
-  DiskInstrument& resolve(std::size_t idx);
+  DiskInstrument& resolve(std::size_t idx) REPFLOW_EXCLUDES(mutex_);
 
   std::atomic<DiskInstrument*> slots_[kMaxTracked + 1] = {};
-  std::mutex mutex_;
-  std::deque<DiskInstrument> owned_;  // stable addresses
+  // mutex_ serializes first-touch registration; owned_ grows only under it
+  // (compile-time checked).  The published pointers themselves are read
+  // lock-free through slots_.
+  support::Mutex mutex_;
+  std::deque<DiskInstrument> owned_ REPFLOW_GUARDED_BY(mutex_);  // stable addresses
 };
 
 #else  // REPFLOW_OBS_DISABLED

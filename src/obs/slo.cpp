@@ -70,13 +70,13 @@ SloWatchdog::SloWatchdog(std::vector<SloObjective> objectives)
     : objectives_(std::move(objectives)) {}
 
 void SloWatchdog::add(SloObjective objective) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   objectives_.push_back(std::move(objective));
 }
 
 void SloWatchdog::observe(const WindowSnapshot& window) {
   if (window.seq == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   std::vector<SloVerdict> verdicts;
   verdicts.reserve(objectives_.size());
   bool all_ok = true;
@@ -95,22 +95,22 @@ void SloWatchdog::observe(const WindowSnapshot& window) {
 }
 
 bool SloWatchdog::healthy() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return healthy_;
 }
 
 std::vector<SloVerdict> SloWatchdog::verdicts() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return verdicts_;
 }
 
 std::uint64_t SloWatchdog::breaches() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return breaches_;
 }
 
 std::vector<SloObjective> SloWatchdog::objectives() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return objectives_;
 }
 

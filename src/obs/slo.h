@@ -17,11 +17,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/window.h"
+#include "support/thread_annotations.h"
 
 namespace repflow::obs {
 
@@ -73,30 +73,32 @@ class SloWatchdog {
   SloWatchdog() = default;
   explicit SloWatchdog(std::vector<SloObjective> objectives);
 
-  void add(SloObjective objective);
+  void add(SloObjective objective) REPFLOW_EXCLUDES(mutex_);
 
   /// Evaluate all objectives against `window`, update health, count
   /// breaches.  A zero-seq window is ignored (stays at the prior verdict).
-  void observe(const WindowSnapshot& window);
+  void observe(const WindowSnapshot& window) REPFLOW_EXCLUDES(mutex_);
 
   /// True when the most recent observed window satisfied every objective
   /// (vacuously true before the first window or with no objectives).
-  bool healthy() const;
+  bool healthy() const REPFLOW_EXCLUDES(mutex_);
 
   /// Latest per-objective verdicts (empty before the first observe()).
-  std::vector<SloVerdict> verdicts() const;
+  std::vector<SloVerdict> verdicts() const REPFLOW_EXCLUDES(mutex_);
 
   /// Total objective-window breaches counted so far.
-  std::uint64_t breaches() const;
+  std::uint64_t breaches() const REPFLOW_EXCLUDES(mutex_);
 
-  std::vector<SloObjective> objectives() const;
+  std::vector<SloObjective> objectives() const REPFLOW_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<SloObjective> objectives_;
-  std::vector<SloVerdict> verdicts_;
-  bool healthy_ = true;
-  std::uint64_t breaches_ = 0;
+  // mutex_ guards the objective list and the latest evaluation state
+  // (compile-time checked; see support/thread_annotations.h).
+  mutable support::Mutex mutex_;
+  std::vector<SloObjective> objectives_ REPFLOW_GUARDED_BY(mutex_);
+  std::vector<SloVerdict> verdicts_ REPFLOW_GUARDED_BY(mutex_);
+  bool healthy_ REPFLOW_GUARDED_BY(mutex_) = true;
+  std::uint64_t breaches_ REPFLOW_GUARDED_BY(mutex_) = 0;
 };
 
 /// One-line JSON health report (`{"healthy":true,...}`) for /healthz.

@@ -20,7 +20,7 @@ void Tracer::record(const char* name, clock::time_point start,
                     clock::time_point end) {
   SpanRecord rec;
   rec.name = name;
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   if (t_thread_index < 0) t_thread_index = next_thread_index_++;
   rec.thread = t_thread_index;
   rec.start_ms =
@@ -31,12 +31,12 @@ void Tracer::record(const char* name, clock::time_point start,
 }
 
 std::vector<SpanRecord> Tracer::spans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return spans_;
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   spans_.clear();
   epoch_ = clock::now();
 }

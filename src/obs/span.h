@@ -14,8 +14,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "support/thread_annotations.h"
 
 namespace repflow::obs {
 
@@ -36,28 +37,33 @@ class Tracer {
 
   static Tracer& global();
 
+  // mo: relaxed — the enable bit is a pure on/off level; span data is
+  // published by mutex_, not by this flag, so no ordering is needed.
   void set_enabled(bool enabled) {
     enabled_.store(enabled, std::memory_order_relaxed);
   }
+  // mo: relaxed — see set_enabled().
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   void record(const char* name, clock::time_point start,
-              clock::time_point end);
+              clock::time_point end) REPFLOW_EXCLUDES(mutex_);
 
   /// Copy of all spans recorded so far, in completion order.
-  std::vector<SpanRecord> spans() const;
+  std::vector<SpanRecord> spans() const REPFLOW_EXCLUDES(mutex_);
 
   /// Drop recorded spans and restart the epoch at now().
-  void clear();
+  void clear() REPFLOW_EXCLUDES(mutex_);
 
  private:
   Tracer() : epoch_(clock::now()) {}
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> spans_;
-  clock::time_point epoch_;
-  int next_thread_index_ = 0;
+  // mutex_ guards the span log, the epoch, and the dense thread-index
+  // allocator (compile-time checked).
+  mutable support::Mutex mutex_;
+  std::vector<SpanRecord> spans_ REPFLOW_GUARDED_BY(mutex_);
+  clock::time_point epoch_ REPFLOW_GUARDED_BY(mutex_);
+  int next_thread_index_ REPFLOW_GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII span: times the enclosing scope under `name` when tracing is on.

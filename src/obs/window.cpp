@@ -95,7 +95,7 @@ WindowedAggregator::WindowedAggregator(std::size_t retain)
 
 WindowSnapshot WindowedAggregator::tick(const MetricsSnapshot& cur,
                                         double elapsed_ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   WindowSnapshot w = has_prev_ ? snapshot_diff(prev_, cur, elapsed_ms)
                                : snapshot_diff(MetricsSnapshot{}, cur,
                                                elapsed_ms);
@@ -116,7 +116,7 @@ WindowSnapshot WindowedAggregator::tick_global() {
   const auto now = std::chrono::steady_clock::now();
   double elapsed_ms = 0.0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     if (has_last_tick_) {
       elapsed_ms =
           std::chrono::duration<double, std::milli>(now - last_tick_).count();
@@ -128,13 +128,13 @@ WindowSnapshot WindowedAggregator::tick_global() {
 }
 
 WindowSnapshot WindowedAggregator::latest() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   if (seq_ == 0) return {};
   return ring_[static_cast<std::size_t>((seq_ - 1) % retain_)];
 }
 
 std::vector<WindowSnapshot> WindowedAggregator::recent() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   std::vector<WindowSnapshot> out;
   out.reserve(ring_.size());
   if (seq_ == 0) return out;
@@ -148,7 +148,7 @@ std::vector<WindowSnapshot> WindowedAggregator::recent() const {
 }
 
 std::uint64_t WindowedAggregator::windows() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return seq_;
 }
 

@@ -25,11 +25,11 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "support/thread_annotations.h"
 
 namespace repflow::obs {
 
@@ -82,31 +82,35 @@ class WindowedAggregator {
   /// baseline and yields a window with seq 1 covering everything since
   /// process start (callers that want a clean baseline should tick once at
   /// startup and discard the result).  Returns a copy of the new window.
-  WindowSnapshot tick(const MetricsSnapshot& cur, double elapsed_ms);
+  WindowSnapshot tick(const MetricsSnapshot& cur, double elapsed_ms)
+      REPFLOW_EXCLUDES(mutex_);
 
   /// Convenience: snapshot the global registry and tick with the wall time
   /// since the previous tick_global() (or construction).
-  WindowSnapshot tick_global();
+  WindowSnapshot tick_global() REPFLOW_EXCLUDES(mutex_);
 
   /// The most recent window (empty WindowSnapshot with seq 0 before the
   /// first tick).
-  WindowSnapshot latest() const;
+  WindowSnapshot latest() const REPFLOW_EXCLUDES(mutex_);
 
   /// Up to `retain` most recent windows, oldest first.
-  std::vector<WindowSnapshot> recent() const;
+  std::vector<WindowSnapshot> recent() const REPFLOW_EXCLUDES(mutex_);
 
   /// Windows produced so far (monotonic; not bounded by the ring).
-  std::uint64_t windows() const;
+  std::uint64_t windows() const REPFLOW_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  MetricsSnapshot prev_;
-  bool has_prev_ = false;
-  std::vector<WindowSnapshot> ring_;  // fixed capacity, seq % retain slots
+  // mutex_ guards every mutable member below; retain_ is immutable after
+  // construction, so it stays unguarded (compile-time checked).
+  mutable support::Mutex mutex_;
+  MetricsSnapshot prev_ REPFLOW_GUARDED_BY(mutex_);
+  bool has_prev_ REPFLOW_GUARDED_BY(mutex_) = false;
+  // Fixed capacity, seq % retain slots.
+  std::vector<WindowSnapshot> ring_ REPFLOW_GUARDED_BY(mutex_);
   std::size_t retain_;
-  std::uint64_t seq_ = 0;
-  std::chrono::steady_clock::time_point last_tick_{};
-  bool has_last_tick_ = false;
+  std::uint64_t seq_ REPFLOW_GUARDED_BY(mutex_) = 0;
+  std::chrono::steady_clock::time_point last_tick_ REPFLOW_GUARDED_BY(mutex_){};
+  bool has_last_tick_ REPFLOW_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace repflow::obs

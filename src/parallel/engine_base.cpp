@@ -61,12 +61,15 @@ void ParallelEngineBase::bind(Vertex source, Vertex sink) {
 void ParallelEngineBase::copy_in() {
   const auto n = static_cast<std::size_t>(net_.num_vertices());
   const auto m = static_cast<std::size_t>(net_.num_arcs());
+  // mo: relaxed — single-threaded prologue; the WorkerPool run() handoff
+  // publishes every store here to the workers (worker_pool.h contract).
   for (std::size_t a = 0; a < m; ++a) {
     cap_[a] = net_.capacity(static_cast<ArcId>(a));
     flow_[a].store(net_.flow(static_cast<ArcId>(a)),
                    std::memory_order_relaxed);
   }
   // Excess is implied by the conserved flows: inflow minus outflow.
+  // mo: relaxed — same prologue contract as the flow stores above.
   for (std::size_t v = 0; v < n; ++v) {
     excess_[v].store(-net_.net_out_flow(static_cast<Vertex>(v)),
                      std::memory_order_relaxed);
@@ -75,17 +78,21 @@ void ParallelEngineBase::copy_in() {
 }
 
 void ParallelEngineBase::copy_out() {
+  // mo: relaxed — single-threaded epilogue; run() returning gave this
+  // thread a happens-after edge from every worker write.
   for (ArcId a = 0; a < net_.num_arcs(); a += 2) {
     net_.set_pair_flow(a, flow_[a].load(std::memory_order_relaxed));
   }
 }
 
 void ParallelEngineBase::saturate_source_arcs() {
+  // mo: relaxed — single-threaded prologue phase (see copy_in note).
   for (std::int32_t i = adj_offset_[source_]; i < adj_offset_[source_ + 1];
        ++i) {
     const ArcId a = adj_arcs_[i];
     const Cap delta = cap_[a] - flow_[a].load(std::memory_order_relaxed);
     if (delta <= 0) continue;
+    // mo: relaxed — single-threaded prologue phase (see copy_in note).
     flow_[a].fetch_add(delta, std::memory_order_relaxed);
     flow_[a ^ 1].fetch_sub(delta, std::memory_order_relaxed);
     excess_[arc_head_[a]].fetch_add(delta, std::memory_order_relaxed);
@@ -98,6 +105,8 @@ void ParallelEngineBase::reverse_bfs_heights(std::vector<std::int32_t>& h,
   constexpr std::int32_t kUnset = -1;
   std::fill(h.begin(), h.begin() + static_cast<std::ptrdiff_t>(n), kUnset);
   std::vector<Vertex>& queue = bfs_queue_;
+  // mo: relaxed — global relabel runs between parallel phases (workers
+  // parked), so the pool handoff already ordered every flow write.
   auto residual = [&](ArcId a) {
     return cap_[a] - flow_[a].load(std::memory_order_relaxed);
   };
@@ -134,6 +143,9 @@ void ParallelEngineBase::reverse_bfs_heights(std::vector<std::int32_t>& h,
 }
 
 void ParallelEngineBase::drain_stranded_excess() {
+  // mo: relaxed throughout — single-threaded epilogue after the last
+  // parallel phase; the pool handoff ordered all worker writes, and the
+  // per-site tags below inherit this note.
   const auto n = static_cast<std::size_t>(net_.num_vertices());
   std::vector<std::int32_t>& visit_pos = drain_visit_pos_;
   std::fill(visit_pos.begin(),
@@ -141,6 +153,7 @@ void ParallelEngineBase::drain_stranded_excess() {
   // Finds the in-arc (u -> cur) carrying flow: stored as reverse slot b^1
   // of cur's out-slot b.
   auto inflow_arc = [&](Vertex cur) -> ArcId {
+    // mo: relaxed — see the epilogue note at the top of this function.
     for (std::int32_t i = adj_offset_[cur]; i < adj_offset_[cur + 1]; ++i) {
       const ArcId b = adj_arcs_[i];
       if (flow_[b ^ 1].load(std::memory_order_relaxed) > 0) return b ^ 1;
@@ -149,6 +162,7 @@ void ParallelEngineBase::drain_stranded_excess() {
   };
   for (Vertex v = 0; v < net_.num_vertices(); ++v) {
     if (v == source_ || v == sink_) continue;
+    // mo: relaxed — see the epilogue note at the top of this function.
     while (excess_[v].load(std::memory_order_relaxed) > 0) {
       // Walk backward from v; walk[i] is the flow-carrying arc entering the
       // vertex at depth i.
@@ -162,6 +176,7 @@ void ParallelEngineBase::drain_stranded_excess() {
         const ArcId in = inflow_arc(cur);
         if (in == graph::kInvalidArc) {
           // Impossible for a vertex with surplus inflow; guard anyway.
+          // mo: relaxed — epilogue note at the top of this function.
           excess_[v].store(0, std::memory_order_relaxed);
           break;
         }
@@ -173,16 +188,19 @@ void ParallelEngineBase::drain_stranded_excess() {
         }
         if (visit_pos[prev] >= 0) {
           // Cancel the flow cycle prev -> ... -> cur -> prev.
+          // mo: relaxed — epilogue note at the top of this function.
           Cap cycle_min = flow_[in].load(std::memory_order_relaxed);
           for (std::size_t k = static_cast<std::size_t>(visit_pos[prev]);
                k < walk.size(); ++k) {
             cycle_min = std::min(
                 cycle_min, flow_[walk[k]].load(std::memory_order_relaxed));
           }
+          // mo: relaxed — epilogue note at the top of this function.
           flow_[in].fetch_sub(cycle_min, std::memory_order_relaxed);
           flow_[in ^ 1].fetch_add(cycle_min, std::memory_order_relaxed);
           for (std::size_t k = static_cast<std::size_t>(visit_pos[prev]);
                k < walk.size(); ++k) {
+            // mo: relaxed — epilogue note at the top of this function.
             flow_[walk[k]].fetch_sub(cycle_min, std::memory_order_relaxed);
             flow_[walk[k] ^ 1].fetch_add(cycle_min,
                                          std::memory_order_relaxed);
@@ -201,10 +219,12 @@ void ParallelEngineBase::drain_stranded_excess() {
         cur = prev;
       }
       if (!reached_source) continue;
+      // mo: relaxed — epilogue note at the top of this function.
       Cap delta = excess_[v].load(std::memory_order_relaxed);
       for (ArcId a : walk) {
         delta = std::min(delta, flow_[a].load(std::memory_order_relaxed));
       }
+      // mo: relaxed — epilogue note at the top of this function.
       for (ArcId a : walk) {
         flow_[a].fetch_sub(delta, std::memory_order_relaxed);
         flow_[a ^ 1].fetch_add(delta, std::memory_order_relaxed);

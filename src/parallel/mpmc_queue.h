@@ -47,6 +47,8 @@ class MpmcQueue {
     cells_ = std::vector<Cell>(cap);  // in-place construction (atomics
                                       // are neither copyable nor movable)
     mask_ = cap - 1;
+    // mo: relaxed — single-threaded constructor; the engine's pool handoff
+    // publishes the whole queue (header audit, bullet 3).
     for (std::size_t i = 0; i < cap; ++i) {
       cells_[i].sequence.store(i, std::memory_order_relaxed);
     }
@@ -58,18 +60,19 @@ class MpmcQueue {
   /// Non-blocking push; returns false when full.
   bool try_push(T value) {
     Cell* cell;
+    // mo: relaxed — ticket peek; the claim CAS re-validates (header audit).
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       cell = &cells_[pos & mask_];
-      // Acquire: synchronizes with the consumer's release store that
+      // mo: acquire — synchronizes with the consumer's release store that
       // recycled this cell, so the consumer's value read happened-before
       // our value write below (no overwrite of an in-flight read).
       const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
       const auto diff = static_cast<std::ptrdiff_t>(seq) -
                         static_cast<std::ptrdiff_t>(pos);
       if (diff == 0) {
-        // Relaxed CAS: claiming the ticket grants nothing by itself — the
-        // cell's sequence above already carries the data edge.
+        // mo: relaxed CAS — claiming the ticket grants nothing by itself;
+        // the cell's sequence above already carries the data edge.
         if (tail_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           break;
@@ -77,12 +80,13 @@ class MpmcQueue {
       } else if (diff < 0) {
         return false;  // full
       } else {
+        // mo: relaxed — ticket re-peek after losing the CAS race.
         pos = tail_.load(std::memory_order_relaxed);
       }
     }
     cell->value = value;
-    // Release: publishes the value write to the consumer whose acquire
-    // load of `sequence` observes pos + 1.
+    // mo: release — publishes the value write to the consumer whose
+    // acquire load of `sequence` observes pos + 1.
     cell->sequence.store(pos + 1, std::memory_order_release);
     return true;
   }
@@ -90,16 +94,17 @@ class MpmcQueue {
   /// Non-blocking pop; returns false when empty.
   bool try_pop(T& out) {
     Cell* cell;
+    // mo: relaxed — ticket peek; the claim CAS re-validates (header audit).
     std::size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
       cell = &cells_[pos & mask_];
-      // Acquire: synchronizes with the producer's release store, making its
-      // value write visible before our value read below.
+      // mo: acquire — synchronizes with the producer's release store,
+      // making its value write visible before our value read below.
       const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
       const auto diff = static_cast<std::ptrdiff_t>(seq) -
                         static_cast<std::ptrdiff_t>(pos + 1);
       if (diff == 0) {
-        // Relaxed CAS: same ticket argument as try_push.
+        // mo: relaxed CAS — same ticket argument as try_push.
         if (head_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           break;
@@ -107,11 +112,12 @@ class MpmcQueue {
       } else if (diff < 0) {
         return false;  // empty
       } else {
+        // mo: relaxed — ticket re-peek after losing the CAS race.
         pos = head_.load(std::memory_order_relaxed);
       }
     }
     out = cell->value;
-    // Release: recycles the cell for the producer one lap ahead; its
+    // mo: release — recycles the cell for the producer one lap ahead; its
     // acquire load sees our value read completed.
     cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
     return true;

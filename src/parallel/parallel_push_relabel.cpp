@@ -99,6 +99,8 @@ void ParallelPushRelabel::exact_heights() {
   // Hong & He engine climbs stranded excess back toward the source over
   // heights in [n, 2n).
   reverse_bfs_heights(bfs_height_, /*source_side=*/true);
+  // mo: relaxed — single-threaded (workers parked); the gr_state_ release
+  // or the pool handoff publishes the fresh heights to the workers.
   for (std::size_t v = 0; v < n; ++v) {
     height_[v].store(bfs_height_[v], std::memory_order_relaxed);
   }
@@ -106,6 +108,9 @@ void ParallelPushRelabel::exact_heights() {
 
 void ParallelPushRelabel::enqueue(Vertex v) {
   if (v == source_ || v == sink_) return;
+  // mo: acq_rel — the winning exchange must see the prior owner's release
+  // clear (and its preceding drains); the count RMW pairs with the
+  // termination check's acquire load so active work is never undercounted.
   if (!queued_[v].exchange(true, std::memory_order_acq_rel)) {
     active_count_.fetch_add(1, std::memory_order_acq_rel);
     while (!queue_->try_push(v)) {
@@ -116,6 +121,8 @@ void ParallelPushRelabel::enqueue(Vertex v) {
 }
 
 void ParallelPushRelabel::seed_queue() {
+  // mo: relaxed — single-threaded prologue (see copy_in note in
+  // engine_base.cpp); the pool handoff publishes all of this.
   active_count_.store(0, std::memory_order_relaxed);
   Vertex drained;
   while (queue_->try_pop(drained)) {
@@ -123,6 +130,7 @@ void ParallelPushRelabel::seed_queue() {
   const auto n = static_cast<std::int32_t>(net_.num_vertices());
   for (Vertex v = 0; v < net_.num_vertices(); ++v) {
     if (v == source_ || v == sink_) continue;
+    // mo: relaxed — same single-threaded prologue as above.
     if (excess_[v].load(std::memory_order_relaxed) > 0 &&
         height_[v].load(std::memory_order_relaxed) < n) {
       enqueue(v);
@@ -134,21 +142,30 @@ void ParallelPushRelabel::discharge(Vertex v) {
   ThreadCounters& counters =
       counters_[static_cast<std::size_t>(t_worker_index)];
   const auto n = static_cast<std::int32_t>(net_.num_vertices());
+  // mo: acquire — pairs with peers' acq_rel excess RMWs so a newly pushed
+  // delta (and the flow writes before it) is visible before we discharge.
   while (excess_[v].load(std::memory_order_acquire) > 0) {
     // Yield to a pending global relabel at a safe boundary (never
     // mid-push); the worker loop re-arms this vertex.
+    // mo: relaxed — advisory peek; maybe_global_relabel() re-checks with
+    // acquire at the real checkpoint, so a stale read only delays parking.
     if (gr_state_.load(std::memory_order_relaxed) == 1) return;
     // Height >= n proves no residual path to the sink remains (validity of
     // the labeling), so this vertex's excess can never reach t in this run:
     // park it.  drain_stranded_excess() walks the surplus back to the
     // source after the threads quiesce, replacing the O(n)-relabel climb of
     // naive excess return (phase-two of classic push-relabel).
+    // mo: acquire — pairs with relabel's release store; the parked-vertex
+    // decision must see the latest height.
     if (height_[v].load(std::memory_order_acquire) >= n) return;
     // Find the lowest residual neighbor (Hong & He's v-bar).
     std::int32_t min_height = std::numeric_limits<std::int32_t>::max();
     ArcId best = graph::kInvalidArc;
     for (std::int32_t i = adj_offset_[v]; i < adj_offset_[v + 1]; ++i) {
       const ArcId a = adj_arcs_[i];
+      // mo: acquire — residual and neighbor height must be no older than
+      // the last release that touched them (Hong & He's validity argument
+      // tolerates stale-but-ordered reads; see the lemma note below).
       if (cap_[a] - flow_[a].load(std::memory_order_acquire) <= 0) continue;
       const std::int32_t hw =
           height_[arc_head_[a]].load(std::memory_order_acquire);
@@ -160,50 +177,73 @@ void ParallelPushRelabel::discharge(Vertex v) {
     if (best == graph::kInvalidArc) {
       return;  // no residual arc: cannot be active (defensive)
     }
+    // mo: acquire — own height may have been rewritten by a global relabel.
     const std::int32_t hv = height_[v].load(std::memory_order_acquire);
     if (hv > min_height) {
       // Push.  Only this thread decreases excess(v) and residual(best), so
       // the stale reads can only underestimate the budget.
+      // mo: acquire — see the lemma note; underestimates are safe, and the
+      // RMWs below are acq_rel so each push is a full synchronization
+      // point on the cells it touches.
       const Cap e = excess_[v].load(std::memory_order_acquire);
       const Cap r = cap_[best] - flow_[best].load(std::memory_order_acquire);
       const Cap delta = std::min(e, r);
       if (delta <= 0) continue;  // neighbor refunded concurrently; rescan
+      // mo: acq_rel — the push must release our prior writes to the
+      // receiving vertex (whose discharge acquires excess) and acquire the
+      // neighbor's prior pushes before compounding on them.
       excess_[v].fetch_sub(delta, std::memory_order_acq_rel);
       flow_[best].fetch_add(delta, std::memory_order_acq_rel);
       flow_[best ^ 1].fetch_sub(delta, std::memory_order_acq_rel);
       const Vertex w = arc_head_[best];
+      // mo: acq_rel — see the push note above.
       excess_[w].fetch_add(delta, std::memory_order_acq_rel);
       enqueue(w);
       ++counters.pushes;
     } else {
       // Relabel to one above the lowest residual neighbor.
+      // mo: release — publishes the new height to the acquire loads in
+      // peers' neighbor scans and parked-vertex checks.
       height_[v].store(min_height + 1, std::memory_order_release);
       ++counters.relabels;
+      // mo: relaxed — heuristic trigger counter; the coordinator only
+      // compares it against a threshold.
       relabels_since_gr_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }
 
 bool ParallelPushRelabel::maybe_global_relabel() {
+  // mo: acquire — pairs with the coordinator's release store of 0 so a
+  // resuming worker sees the rewritten heights.
   const int state = gr_state_.load(std::memory_order_acquire);
   if (state == 1) {
     // Someone else coordinates: park at this checkpoint until it finishes.
+    // mo: acq_rel — the park count releases our in-flight writes to the
+    // coordinator's acquire loads (it must observe a quiesced heap before
+    // rewriting heights), and the acquire side orders our resume.
     gr_paused_.fetch_add(1, std::memory_order_acq_rel);
     while (gr_state_.load(std::memory_order_acquire) == 1) {
       std::this_thread::yield();
     }
+    // mo: acq_rel — see the park note above (unpark side).
     gr_paused_.fetch_sub(1, std::memory_order_acq_rel);
     return true;
   }
+  // mo: relaxed — heuristic threshold check (see the trigger counter note).
   if (relabels_since_gr_.load(std::memory_order_relaxed) < gr_threshold_) {
     return false;
   }
   int expected = 0;
+  // mo: acq_rel — winning the election acquires the previous coordinator's
+  // epilogue and releases our intent to the parking workers.
   if (!gr_state_.compare_exchange_strong(expected, 1,
                                          std::memory_order_acq_rel)) {
     return false;  // lost the election; next checkpoint will park us
   }
   // Coordinator: wait until every other worker is parked or has exited.
+  // mo: acquire — pairs with the workers' acq_rel park/exit RMWs; their
+  // flow/height writes must be visible before exact_heights() reads them.
   const int others = threads_ - 1;
   while (gr_paused_.load(std::memory_order_acquire) +
              gr_exited_.load(std::memory_order_acquire) <
@@ -211,7 +251,10 @@ bool ParallelPushRelabel::maybe_global_relabel() {
     std::this_thread::yield();
   }
   exact_heights();
+  // mo: relaxed — trigger reset; published by the release store below.
   relabels_since_gr_.store(0, std::memory_order_relaxed);
+  // mo: release — publishes the rewritten heights to the parked workers'
+  // acquire loads above.
   gr_state_.store(0, std::memory_order_release);
   return true;
 }
@@ -226,17 +269,27 @@ void ParallelPushRelabel::worker() {
     if (queue_->try_pop(v)) {
       ++counters.discharges;
       discharge(v);
+      // mo: release — hands the vertex off; the next enqueue's acq_rel
+      // exchange must see every write from this drain.
       queued_[v].store(false, std::memory_order_release);
       // Re-arm if excess arrived between the last drain and the flag clear.
       // Vertices parked at height >= n stay parked: their excess is
       // provably sink-unreachable and is returned by the drain phase.
+      // mo: acquire — must observe a peer's push that landed after our
+      // last excess check, else the vertex would strand with excess.
       if (excess_[v].load(std::memory_order_acquire) > 0 &&
           height_[v].load(std::memory_order_acquire) < n) {
         enqueue(v);
       }
+      // mo: acq_rel — pairs with the termination check's acquire load.
       active_count_.fetch_sub(1, std::memory_order_acq_rel);
     } else {
+      // mo: acquire — termination: zero here means every enqueue that
+      // could still produce work has been balanced by its matching
+      // decrement, whose writes we now observe.
       if (active_count_.load(std::memory_order_acquire) == 0) {
+        // mo: acq_rel — the exit count joins the coordinator's quiescence
+        // sum (see maybe_global_relabel).
         gr_exited_.fetch_add(1, std::memory_order_acq_rel);
         return;
       }
@@ -250,12 +303,15 @@ void ParallelPushRelabel::worker() {
 Cap ParallelPushRelabel::resume() {
   copy_in();
   const auto n = static_cast<std::size_t>(net_.num_vertices());
+  // mo: relaxed — single-threaded prologue; the pool_.run() handoff below
+  // publishes every store in this block to the workers.
   for (std::size_t v = 0; v < n; ++v) {
     queued_[v].store(false, std::memory_order_relaxed);
   }
   saturate_source_arcs();
   exact_heights();
   seed_queue();
+  // mo: relaxed — same prologue contract as above.
   gr_state_.store(0, std::memory_order_relaxed);
   gr_paused_.store(0, std::memory_order_relaxed);
   gr_exited_.store(0, std::memory_order_relaxed);
@@ -293,6 +349,7 @@ Cap ParallelPushRelabel::resume() {
   std::fill(counters_.begin(), counters_.end(), ThreadCounters{});
 
   copy_out();
+  // mo: relaxed — single-threaded epilogue (workers joined by run()).
   const Cap value = excess_[sink_].load(std::memory_order_relaxed);
   // Post-solve seam (single-threaded epilogue; all workers joined above, so
   // the relaxed loads in copy_out observed final values via the pool's

@@ -35,6 +35,11 @@ constexpr std::uint64_t kDischargeWorkConstant = 4;
 // round's activations.
 template <typename Job>
 void RoundPushRelabel::run_phase(std::size_t total, Job&& job) {
+  // mo: relaxed — phase prologue on the coordinator; the pool handoff (or
+  // the inline call) publishes the reset cursor to the workers.  This BSP
+  // barrier argument covers every relaxed site in the phase bodies below:
+  // within a round each cell has a single logical owner, and all
+  // cross-round visibility rides the run()/barrier edges.
   cursor_.store(0, std::memory_order_relaxed);
   if (threads_ == 1 || total < parallel_cutoff_) {
     for (auto& buf : thread_bufs_) buf.clear();
@@ -89,6 +94,9 @@ void RoundPushRelabel::ensure_round_state() {
 }
 
 void RoundPushRelabel::activate(Vertex v, int worker) {
+  // mo: relaxed — the stamp is a claim ticket (RMW atomicity dedupes
+  // concurrent activators); the claimed vertex id travels in the claiming
+  // worker's own buffer, which the barrier publishes.
   if (last_activated_[v].exchange(round_stamp_, std::memory_order_relaxed) !=
       round_stamp_) {
     thread_bufs_[static_cast<std::size_t>(worker)].push_back(v);
@@ -104,15 +112,21 @@ void RoundPushRelabel::discharge(Vertex u, int worker) {
   const std::int32_t end = adj_offset_[u + 1];
   // Committed excess is owner-read during the round; same-round incoming
   // credits accumulate in excess_diff_ and only join at the barrier.
+  // mo: relaxed — see the BSP note in run_phase (single owner per round).
   Cap e = excess_[u].load(std::memory_order_relaxed);
   Cap pushed = 0;
   for (std::int32_t i = begin; i < end && e > 0; ++i) {
     const ArcId a = adj_arcs_[i];
     const Vertex w = arc_head_[a];
     if (ws_.level[w] != lu - 1) continue;  // admissible wrt frozen labels
+    // mo: relaxed — admissible arcs point strictly down-level, and only
+    // the down-level endpoint's owner pushes on an arc this round, so each
+    // flow cell has one writer per round (BSP note in run_phase); the
+    // diff cells are pure commutative tallies joined at the barrier.
     const Cap r = cap_[a] - flow_[a].load(std::memory_order_relaxed);
     if (r <= 0) continue;
     const Cap delta = std::min(e, r);
+    // mo: relaxed — see the single-writer-per-round note above.
     flow_[a].fetch_add(delta, std::memory_order_relaxed);
     flow_[a ^ 1].fetch_sub(delta, std::memory_order_relaxed);
     excess_diff_[w].fetch_add(delta, std::memory_order_relaxed);
@@ -122,6 +136,7 @@ void RoundPushRelabel::discharge(Vertex u, int worker) {
     ++counters.pushes;
   }
   if (pushed > 0) {
+    // mo: relaxed — commutative tally joined at the barrier (BSP note).
     excess_diff_[u].fetch_sub(pushed, std::memory_order_relaxed);
   }
   counters.work +=
@@ -133,6 +148,8 @@ void RoundPushRelabel::discharge(Vertex u, int worker) {
     std::int32_t min_level = std::numeric_limits<std::int32_t>::max();
     for (std::int32_t i = begin; i < end; ++i) {
       const ArcId a = adj_arcs_[i];
+      // mo: relaxed — same-round flow reads; a concurrently updated cell
+      // only makes the frozen-label relabel conservative (BSP note).
       if (cap_[a] - flow_[a].load(std::memory_order_relaxed) <= 0) continue;
       min_level = std::min(min_level, ws_.level[arc_head_[a]]);
     }
@@ -148,6 +165,7 @@ void RoundPushRelabel::discharge(Vertex u, int worker) {
 
 void RoundPushRelabel::discharge_active() {
   if (++round_stamp_ == 0) {  // epoch wrap: wipe stale stamps once
+    // mo: relaxed — coordinator-only, between phases (BSP note).
     for (auto& stamp : last_activated_) {
       stamp.store(0, std::memory_order_relaxed);
     }
@@ -158,6 +176,8 @@ void RoundPushRelabel::discharge_active() {
     buf.clear();
     const std::size_t total = ws_.active.size();
     for (;;) {
+      // mo: relaxed — bare chunk ticket; the claimed range's data was
+      // published by the phase handoff (BSP note in run_phase).
       const std::size_t begin =
           cursor_.fetch_add(kChunk, std::memory_order_relaxed);
       if (begin >= total) break;
@@ -174,11 +194,14 @@ void RoundPushRelabel::apply_updates() {
   ws_.active.clear();
   for (auto& buf : thread_bufs_) {
     for (const Vertex v : buf) {
+      // mo: relaxed — barrier commit on the coordinator; every worker
+      // tally was published by the phase barrier (BSP note in run_phase).
       excess_[v].fetch_add(excess_diff_[v].exchange(
                                0, std::memory_order_relaxed),
                            std::memory_order_relaxed);
       ws_.level[v] = ws_.next_level[v];
       if (v == source_ || v == sink_) continue;
+      // mo: relaxed — see the barrier-commit note above.
       if (excess_[v].load(std::memory_order_relaxed) > 0 &&
           ws_.level[v] < n) {
         ws_.active.push_back(v);
@@ -199,6 +222,7 @@ void RoundPushRelabel::global_relabel() {
   ++run_round_stats_.global_relabels;
   ++stats_.global_relabels;
   if (++gr_stamp_ == 0) {
+    // mo: relaxed — coordinator-only, between phases (BSP note).
     for (auto& stamp : bfs_stamp_) stamp.store(0, std::memory_order_relaxed);
     gr_stamp_ = 1;
   }
@@ -208,6 +232,7 @@ void RoundPushRelabel::global_relabel() {
             ws_.level.begin() + static_cast<std::ptrdiff_t>(n), nn);
   ws_.frontier.clear();
   ws_.level[sink_] = 0;
+  // mo: relaxed — coordinator-only seed, published by the phase handoff.
   bfs_stamp_[sink_].store(gr_stamp_, std::memory_order_relaxed);
   ws_.frontier.push_back(sink_);
   std::int32_t depth = 0;
@@ -221,6 +246,7 @@ void RoundPushRelabel::global_relabel() {
       out.clear();
       const std::size_t total = ws_.frontier.size();
       for (;;) {
+        // mo: relaxed — bare chunk ticket (BSP note in run_phase).
         const std::size_t begin =
             cursor_.fetch_add(kChunk, std::memory_order_relaxed);
         if (begin >= total) break;
@@ -233,10 +259,15 @@ void RoundPushRelabel::global_relabel() {
             const Vertex w = arc_head_[a];
             if (w == source_) continue;
             // Residual of the reverse arc (w -> v) admits w one level up.
+            // mo: relaxed — flows are frozen during the BFS (no discharge
+            // phase runs concurrently; BSP note in run_phase).
             if (cap_[a ^ 1] - flow_[a ^ 1].load(std::memory_order_relaxed) <=
                 0) {
               continue;
             }
+            // mo: relaxed — discovery ticket: RMW atomicity elects one
+            // claimant; the level write is claimant-only and the next
+            // depth's barrier publishes it.
             if (bfs_stamp_[w].exchange(gr_stamp_,
                                        std::memory_order_relaxed) ==
                 gr_stamp_) {
@@ -268,6 +299,7 @@ void RoundPushRelabel::seed_active() {
   ws_.active.clear();
   for (Vertex v = 0; v < net_.num_vertices(); ++v) {
     if (v == source_ || v == sink_) continue;
+    // mo: relaxed — coordinator-only scan between phases (BSP note).
     if (excess_[v].load(std::memory_order_relaxed) > 0 && ws_.level[v] < n) {
       ws_.active.push_back(v);
     }
@@ -289,6 +321,7 @@ Cap RoundPushRelabel::resume() {
   copy_in();
   // Defensive re-zero of the delta array: every committed round leaves it
   // all-zero, but a rebind may have exposed stale slots.
+  // mo: relaxed — single-threaded prologue (copy_in note, engine_base.cpp).
   for (std::size_t v = 0; v < n; ++v) {
     excess_diff_[v].store(0, std::memory_order_relaxed);
   }
@@ -342,6 +375,7 @@ Cap RoundPushRelabel::resume() {
       cumulative_round_stats_.active_peak, run_round_stats_.active_peak);
 
   copy_out();
+  // mo: relaxed — single-threaded epilogue (see the seam note below).
   const Cap value = excess_[sink_].load(std::memory_order_relaxed);
   // Post-solve seam (single-threaded epilogue; every parallel phase ended
   // at a pool barrier, so the relaxed loads in copy_out observed final
@@ -388,6 +422,8 @@ std::size_t RoundPushRelabel::retained_bytes() const {
 void RoundPushRelabel::check_round_invariants(const char* where) const {
   analysis::InvariantReport report;
   const auto m = static_cast<ArcId>(net_.num_arcs());
+  // mo: relaxed — invariant checks run on the coordinator between phases,
+  // after the barrier published every worker write (BSP note).
   for (ArcId a = 0; a < m; a += 2) {
     const Cap f = flow_[a].load(std::memory_order_relaxed);
     const Cap fr = flow_[a ^ 1].load(std::memory_order_relaxed);
@@ -402,6 +438,7 @@ void RoundPushRelabel::check_round_invariants(const char* where) const {
   for (Vertex v = 0; v < net_.num_vertices(); ++v) {
     if (v == source_) continue;
     Cap net_out = 0;
+    // mo: relaxed — between-phase invariant check (note above).
     for (std::int32_t i = adj_offset_[v]; i < adj_offset_[v + 1]; ++i) {
       net_out += flow_[adj_arcs_[i]].load(std::memory_order_relaxed);
     }
@@ -430,6 +467,7 @@ void RoundPushRelabel::check_exact_labels(const char* where) const {
   for (Vertex u = 0; u < net_.num_vertices(); ++u) {
     for (std::int32_t i = adj_offset_[u]; i < adj_offset_[u + 1]; ++i) {
       const ArcId a = adj_arcs_[i];
+      // mo: relaxed — between-phase invariant check (note above).
       if (cap_[a] - flow_[a].load(std::memory_order_relaxed) <= 0) continue;
       const Vertex w = arc_head_[a];
       if (ws_.level[u] < n && ws_.level[u] > ws_.level[w] + 1) {

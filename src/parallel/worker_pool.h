@@ -16,15 +16,21 @@
 // single-threaded prologue/epilogue (and the round engine its barrier
 // commits) free of per-cell synchronization.
 //
+// Lock discipline (compile-time checked; see support/thread_annotations.h
+// and docs/ANALYSIS.md): mutex_ guards the whole handoff state — job_,
+// generation_, running_, shutdown_.  Clang's -Wthread-safety rejects any
+// access outside a MutexLock scope.
+//
 // threads == 1 never spawns: run(job) invokes job(0) inline on the caller,
 // so single-threaded engines stay deterministic and signal-safe.
 #pragma once
 
-#include <condition_variable>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/thread_annotations.h"
 
 namespace repflow::parallel {
 
@@ -41,7 +47,7 @@ class WorkerPool {
 
   ~WorkerPool() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      support::MutexLock lock(mutex_);
       shutdown_ = true;
     }
     cv_.notify_all();
@@ -53,41 +59,42 @@ class WorkerPool {
 
   /// Run `job(worker_index)` on every worker (indices 0..threads-1) and
   /// block until all of them return.  Not reentrant; one run at a time.
-  void run(const std::function<void(int)>& job) {
+  void run(const std::function<void(int)>& job) REPFLOW_EXCLUDES(mutex_) {
     if (threads_ == 1) {
       job(0);
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      support::MutexLock lock(mutex_);
       job_ = &job;
       running_ = threads_;
       ++generation_;
     }
     cv_.notify_all();
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return running_ == 0; });
-    job_ = nullptr;
+    {
+      support::MutexLock lock(mutex_);
+      while (running_ != 0) cv_.wait(mutex_);
+      job_ = nullptr;
+    }
   }
 
   int threads() const { return threads_; }
 
  private:
-  void entry(int index) {
+  void entry(int index) REPFLOW_EXCLUDES(mutex_) {
     std::uint64_t seen_generation = 0;
     for (;;) {
       const std::function<void(int)>* job = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock,
-                 [&] { return shutdown_ || generation_ != seen_generation; });
+        support::MutexLock lock(mutex_);
+        while (!shutdown_ && generation_ == seen_generation) cv_.wait(mutex_);
         if (shutdown_) return;
         seen_generation = generation_;
         job = job_;
       }
       (*job)(index);
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        support::MutexLock lock(mutex_);
         if (--running_ == 0) cv_.notify_all();
       }
     }
@@ -95,12 +102,12 @@ class WorkerPool {
 
   int threads_;
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  const std::function<void(int)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  int running_ = 0;
-  bool shutdown_ = false;
+  support::Mutex mutex_;
+  support::CondVar cv_;
+  const std::function<void(int)>* job_ REPFLOW_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ REPFLOW_GUARDED_BY(mutex_) = 0;
+  int running_ REPFLOW_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ REPFLOW_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace repflow::parallel

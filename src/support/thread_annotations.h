@@ -1,0 +1,162 @@
+// Compile-time lock discipline: Clang Thread Safety (capability) analysis
+// wrappers and macros for the concurrency tier.
+//
+// The repo's cross-thread state is protected by a small set of mutexes
+// whose discipline used to live in comments and TSan runs.  This header
+// turns that discipline into a build-time guarantee: every mutex-protected
+// member is declared with REPFLOW_GUARDED_BY(mutex), every function that
+// assumes a held lock with REPFLOW_REQUIRES(mutex), and clang's
+// -Wthread-safety analysis (enabled as an error by the REPFLOW_THREAD_SAFETY
+// CMake option; see docs/ANALYSIS.md) rejects any access that cannot prove
+// it holds the right capability.  Under GCC (or any non-clang compiler) all
+// macros expand to nothing and the wrappers are zero-cost shims over the
+// std types, so the annotations never cost a non-clang build anything.
+//
+// Conventions (enforced by tools/repflow_lint.py, rule LOCK01):
+//  - Annotated modules use support::Mutex / support::MutexLock /
+//    support::CondVar, never bare std::mutex / std::lock_guard /
+//    std::condition_variable.  The std types appear only inside this header.
+//  - Condition waits are written as explicit `while (!pred) cv.wait(mu);`
+//    loops under a MutexLock, not predicate lambdas: the analysis cannot
+//    see through a lambda's capture, but it checks every guarded read in an
+//    open-coded loop.
+//
+// This is the only file in src/ allowed to suppress the analysis
+// (REPFLOW_NO_THREAD_SAFETY_ANALYSIS is used on the CondVar internals,
+// which hand a held std::mutex to std::condition_variable and back).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// Attribute plumbing: clang implements the capability analysis; other
+// compilers see empty token soup.  The attributes themselves are inert
+// without -Wthread-safety, so they are unconditionally present on clang.
+#if defined(__clang__)
+#define REPFLOW_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define REPFLOW_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a type to be a capability ("mutex") the analysis tracks.
+#define REPFLOW_CAPABILITY(x) REPFLOW_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define REPFLOW_SCOPED_CAPABILITY REPFLOW_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be accessed while holding `x`.
+#define REPFLOW_GUARDED_BY(x) REPFLOW_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be accessed while holding `x`.
+#define REPFLOW_PT_GUARDED_BY(x) REPFLOW_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and does
+/// not release them).
+#define REPFLOW_REQUIRES(...) \
+  REPFLOW_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define REPFLOW_ACQUIRE(...) \
+  REPFLOW_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry).
+#define REPFLOW_RELEASE(...) \
+  REPFLOW_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning `ret`.
+#define REPFLOW_TRY_ACQUIRE(ret, ...) \
+  REPFLOW_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock guard for
+/// functions that acquire them internally).
+#define REPFLOW_EXCLUDES(...) \
+  REPFLOW_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to a value guarded by `x`.
+#define REPFLOW_RETURN_CAPABILITY(x) \
+  REPFLOW_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's discipline is real but inexpressible.
+/// Allowed ONLY inside this header (repflow_lint.py has no suppression
+/// list; the acceptance bar is zero uses outside thread_annotations.h).
+#define REPFLOW_NO_THREAD_SAFETY_ANALYSIS \
+  REPFLOW_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace repflow::support {
+
+/// std::mutex wearing the capability attribute.  Same size, same cost;
+/// lock()/unlock() carry the acquire/release annotations the analysis
+/// tracks.  Prefer MutexLock over manual lock()/unlock() pairs.
+class REPFLOW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() REPFLOW_ACQUIRE() { mu_.lock(); }
+  void unlock() REPFLOW_RELEASE() { mu_.unlock(); }
+  bool try_lock() REPFLOW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // CondVar::wait needs the raw handle
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over Mutex (std::lock_guard shaped, annotated).
+class REPFLOW_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) REPFLOW_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() REPFLOW_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable for Mutex.  wait()/wait_until() require the mutex to
+/// be held (the analysis checks the caller); internally they hand the
+/// already-held std::mutex to a std::condition_variable via an adopting
+/// unique_lock and release() it back, so the capability never actually
+/// changes hands from the caller's point of view.
+///
+/// Use explicit wait loops so guarded predicate reads stay visible to the
+/// analysis:
+///
+///   support::MutexLock lock(mutex_);
+///   while (!ready_) cv_.wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, sleep, and reacquire before returning.
+  void wait(Mutex& mu) REPFLOW_REQUIRES(mu) REPFLOW_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  /// wait() with a deadline; std::cv_status::timeout once `deadline`
+  /// passes.  Callers loop on their predicate exactly as with wait().
+  std::cv_status wait_until(Mutex& mu,
+                            std::chrono::steady_clock::time_point deadline)
+      REPFLOW_REQUIRES(mu) REPFLOW_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace repflow::support

@@ -1,0 +1,30 @@
+// Negative control for the thread-safety analysis gate: reads and writes a
+// guarded member without holding its mutex.  Under clang with
+// -Werror=thread-safety-analysis this TU MUST fail to compile — the CTest
+// entry that builds it carries WILL_FAIL, so a build that *succeeds* (i.e.
+// the analysis silently stopped seeing the annotations) fails the suite.
+// Under other compilers the annotations expand to nothing and this TU is
+// never built (the CMake gate skips the test entirely).
+#include "support/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // BUG (deliberate): touches balance_ with no lock held.  The analysis
+  // reports "reading variable 'balance_' requires holding mutex 'mutex_'".
+  int unguarded_read() const { return balance_; }
+  void unguarded_write(int amount) { balance_ += amount; }
+
+ private:
+  mutable repflow::support::Mutex mutex_;
+  int balance_ REPFLOW_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.unguarded_write(1);
+  return account.unguarded_read();
+}

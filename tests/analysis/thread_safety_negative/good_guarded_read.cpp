@@ -1,0 +1,84 @@
+// Positive control for the thread-safety analysis gate: exercises every
+// annotation pattern the repo uses (guarded members, REQUIRES, EXCLUDES,
+// manual ACQUIRE/RELEASE, try-lock, scoped locking, condition-variable
+// predicate loops) in the way the analysis accepts.  This TU must compile
+// *cleanly* under -Werror=thread-safety-analysis — if an annotation in
+// support/thread_annotations.h regresses (e.g. a macro stops expanding or
+// CondVar::wait loses its REQUIRES contract), this file is where the CI
+// static-analysis job catches it.  Its sibling bad_guarded_read.cpp is the
+// negative control (must FAIL to compile under the same flags).
+#include <chrono>
+
+#include "support/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // Scoped locking: the common pattern across the annotated modules.
+  void deposit(int amount) REPFLOW_EXCLUDES(mutex_) {
+    repflow::support::MutexLock lock(mutex_);
+    balance_ += amount;
+    cv_.notify_all();
+  }
+
+  // REQUIRES: caller holds the lock; the analysis checks call sites.
+  int balance_locked() const REPFLOW_REQUIRES(mutex_) { return balance_; }
+
+  int read_balance() const REPFLOW_EXCLUDES(mutex_) {
+    repflow::support::MutexLock lock(mutex_);
+    return balance_locked();
+  }
+
+  // Manual acquire/release annotations on the raw Mutex API.
+  void manual_cycle() REPFLOW_EXCLUDES(mutex_) {
+    mutex_.lock();
+    balance_ += 1;
+    mutex_.unlock();
+  }
+
+  bool try_deposit(int amount) REPFLOW_EXCLUDES(mutex_) {
+    if (!mutex_.try_lock()) return false;
+    balance_ += amount;
+    mutex_.unlock();
+    return true;
+  }
+
+  // Condition-variable predicate loop — the explicit while-wait shape the
+  // annotated modules use (the analysis cannot see through lambda
+  // predicates, so wait(lock, pred) is deliberately not offered).
+  void wait_for_positive() REPFLOW_EXCLUDES(mutex_) {
+    repflow::support::MutexLock lock(mutex_);
+    while (balance_ <= 0) cv_.wait(mutex_);
+  }
+
+  bool wait_for_positive_until(
+      std::chrono::steady_clock::time_point deadline)
+      REPFLOW_EXCLUDES(mutex_) {
+    repflow::support::MutexLock lock(mutex_);
+    while (balance_ <= 0) {
+      if (cv_.wait_until(mutex_, deadline) == std::cv_status::timeout) {
+        return balance_ > 0;
+      }
+    }
+    return true;
+  }
+
+ private:
+  mutable repflow::support::Mutex mutex_;
+  repflow::support::CondVar cv_;
+  int balance_ REPFLOW_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(3);
+  account.manual_cycle();
+  (void)account.try_deposit(2);
+  account.wait_for_positive();
+  (void)account.wait_for_positive_until(std::chrono::steady_clock::now() +
+                                        std::chrono::milliseconds(1));
+  return account.read_balance() > 0 ? 0 : 1;
+}

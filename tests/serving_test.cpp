@@ -459,6 +459,52 @@ TEST(BatchSolver, SurvivesThrowingProblemMidBatch) {
   }
 }
 
+// Regression test for the lock-discipline bug the thread-safety annotation
+// pass found: first_error_ was re-armed and read without error_mutex_, so a
+// batch where several workers throw at once raced on the exception slot.
+// Every problem here is poisoned, so with 4 workers the "first error wins"
+// store is genuinely contended on each round; the TSan CI job runs this.
+TEST(BatchSolver, ConcurrentThrowsRaceTheErrorSlotSafely) {
+  RetrievalProblem bad;
+  bad.system.num_sites = 1;
+  bad.system.disks_per_site = 2;
+  bad.system.cost_ms = {1.0, 2.0};
+  bad.system.delay_ms = {0.0, 0.0};
+  bad.system.init_load_ms = {0.0, 0.0};
+  bad.system.model = {"a", "b"};
+  bad.replicas = {{0, 1}};
+  RetrievalProblem good;
+  good.system = uniform_system(2, 1.0);
+  good.replicas = {{0, 1}, {0, 1}};
+  good.validate();
+
+  BatchOptions options;
+  options.threads = 4;
+  options.policy = ExecutionPolicy::pinned(SolverKind::kFordFulkersonBasic);
+  BatchSolver batch(options);
+
+#if defined(REPFLOW_TSAN)
+  constexpr int kRounds = 8;
+#else
+  constexpr int kRounds = 32;
+#endif
+  const std::vector<RetrievalProblem> all_bad(16, bad);
+  const std::vector<RetrievalProblem> clean(16, good);
+  std::vector<SolveResult> results;
+  const double expected =
+      solve(good, SolverKind::kFordFulkersonBasic).response_time_ms;
+  for (int round = 0; round < kRounds; ++round) {
+    EXPECT_THROW(batch.solve_into(all_bad, results), std::invalid_argument);
+    // The error slot re-arms cleanly: the next batch neither rethrows the
+    // stale exception nor loses results.
+    batch.solve_into(clean, results);
+    ASSERT_EQ(results.size(), clean.size());
+    for (const auto& r : results) {
+      EXPECT_NEAR(r.response_time_ms, expected, kTimeEps);
+    }
+  }
+}
+
 TEST(BatchSolver, PolicyOverridesPinnedKind) {
   Rng rng(42);
   const auto rep =

@@ -8,11 +8,13 @@
 // kill-switch API-surface test covering that configuration.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <netinet/in.h>
@@ -492,6 +494,48 @@ TEST(FlightRecorder, BreachCopiesTheQueryChain) {
   const std::string json = obs::flight_recorder_json(recorder);
   EXPECT_NE(json.find("\"breaches\":[{\"query_id\":7"), std::string::npos);
   EXPECT_NE(json.find("\"kind\":\"breach\""), std::string::npos);
+}
+
+// Regression test for a data race the thread-safety annotation pass found:
+// the recorder epoch was a plain time_point written by clear() while
+// lock-free record() calls read it to timestamp events.  The epoch is now
+// an atomic tick count; this test hammers record() from several threads
+// while the main thread repeatedly clear()s — under the TSan CI job the old
+// representation fails here deterministically.
+TEST(FlightRecorder, ConcurrentClearAndRecordStayRaceFree) {
+#if defined(REPFLOW_TSAN)
+  constexpr int kEventsPerThread = 2000;
+#else
+  constexpr int kEventsPerThread = 20000;
+#endif
+  obs::FlightRecorder recorder(/*capacity=*/64);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&recorder, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        recorder.record(static_cast<std::uint64_t>(t) + 1,
+                        obs::FlightEventKind::kSolve,
+                        static_cast<double>(i));
+        if ((i & 255) == 0) (void)recorder.events();
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (int i = 0; i < 200; ++i) {
+    recorder.clear();
+    (void)recorder.events();
+  }
+  for (auto& w : writers) w.join();
+  // Sanity after the dust settles: a fresh epoch yields non-negative,
+  // well-formed timestamps and an internally consistent ring.
+  recorder.clear();
+  recorder.record(9, obs::FlightEventKind::kAdmit, 1.0);
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].query_id, 9u);
+  EXPECT_GE(events[0].t_ms, 0.0);
 }
 
 TEST(FlightRecorder, RouterBudgetBreachDumpsFullPipelineChain) {
